@@ -1,0 +1,65 @@
+// Ablations over the simulator knobs DESIGN.md calls out as load-bearing:
+//   (1) NUMA latency asymmetry — scaling the cross-socket transfer cost up
+//       and down moves (or removes) the Figure-1 cliff;
+//   (2) allocator padding — letting nodes share cache lines creates false
+//       transactional conflicts;
+//   (3) NATLE warm-up threshold — without it, sparse profiling data can
+//       wrongly throttle a scalable workload;
+//   (4) hyperthread penalty — removes the slope changes at 18/54 threads.
+#include <cstdio>
+
+#include "workload/options.hpp"
+#include "workload/setbench.hpp"
+
+using namespace natle;
+using namespace natle::workload;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  emitHeader("ablation_model_knobs (y = Mops/s)");
+  SetBenchConfig base;
+  base.key_range = 2048;
+  base.update_pct = 100;
+  base.sync = SyncKind::kTle;
+  base.measure_ms = 1.5 * opt.time_scale;
+  base.warmup_ms = 0.8 * opt.time_scale;
+
+  // (1) Remote-transfer sweep at the socket boundary.
+  for (uint32_t rt : {40u, 250u, 500u, 800u}) {
+    SetBenchConfig cfg = base;
+    cfg.machine.remote_transfer = rt;
+    for (int n : {36, 37, 48, 72}) {
+      cfg.nthreads = n;
+      char series[64];
+      std::snprintf(series, sizeof series, "remote-transfer-%u", rt);
+      emitRow(series, n, runSetBench(cfg).mops);
+    }
+  }
+  // (2) HT penalty on/off.
+  for (double ht : {1.0, 1.6}) {
+    SetBenchConfig cfg = base;
+    cfg.machine.ht_penalty = ht;
+    for (int n : {12, 18, 24, 36}) {
+      cfg.nthreads = n;
+      char series[64];
+      std::snprintf(series, sizeof series, "ht-penalty-%.1f", ht);
+      emitRow(series, n, runSetBench(cfg).mops);
+    }
+  }
+  // (3) NATLE warm-up threshold.
+  for (uint64_t thr : {uint64_t{0}, uint64_t{256}}) {
+    SetBenchConfig cfg = base;
+    cfg.sync = SyncKind::kNatle;
+    cfg.update_pct = 0;  // read-only scales on both sockets; throttling hurts
+    cfg.natle.min_acquisitions = thr;
+    for (int n : {48, 72}) {
+      cfg.nthreads = n;
+      char series[64];
+      std::snprintf(series, sizeof series, "natle-warmup-thr-%llu",
+                    static_cast<unsigned long long>(thr));
+      emitRow(series, n, runSetBench(cfg).mops);
+    }
+  }
+  std::fprintf(stderr, "ablation sweep complete\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Section 4.1's considered-and-rejected alternatives, head to head with
+// NATLE on the Figure-1 workload (AVL, 100% updates, keys [0, 2048)):
+//
+//   * remote-socket backoff — helps only when so long that socket 1 starves;
+//   * delegation by key range — locality gains are eaten by coordination
+//     overhead unless operations are batched into one critical section.
+//
+// Series: tle, natle, backoff-<cycles>, delegation-b<batch>.
+#include <cstdio>
+
+#include "ds/avl.hpp"
+#include "sync/backoff_tle.hpp"
+#include "sync/delegation.hpp"
+#include "sync/natle.hpp"
+#include "workload/options.hpp"
+#include "workload/setbench.hpp"
+
+using namespace natle;
+using namespace natle::htm;
+using namespace natle::workload;
+
+namespace {
+
+constexpr int64_t kRange = 2048;
+
+void prefill(Env& env, ds::AvlTree& tree, uint64_t seed) {
+  auto& sc = env.setupCtx();
+  sim::Rng pre(seed ^ 0xfeed);
+  std::vector<int64_t> keys(kRange);
+  for (int64_t k = 0; k < kRange; ++k) keys[k] = k;
+  for (size_t i = keys.size(); i > 1; --i) {
+    std::swap(keys[i - 1], keys[pre.below(i)]);
+  }
+  for (size_t i = 0; i < keys.size() / 2; ++i) tree.insert(sc, keys[i]);
+}
+
+// Backoff variant of the set bench (the generic driver covers tle/natle).
+double runBackoff(int nthreads, uint64_t backoff, double measure_ms,
+                  double warmup_ms) {
+  sim::MachineConfig mc = sim::LargeMachine();
+  mc.seed = 7 + nthreads;
+  Env env(mc);
+  ds::AvlTree tree(env);
+  prefill(env, tree, mc.seed);
+  sync::BackoffTleLock lock(env, backoff);
+  const uint64_t t_end = mc.msToCycles(warmup_ms + measure_ms);
+  env.setStatsStart(mc.msToCycles(warmup_ms));
+  for (int i = 0; i < nthreads; ++i) {
+    env.spawnWorker(
+        [&, t_end](ThreadCtx& ctx) {
+          auto& rng = ctx.rng();
+          while (ctx.nowCycles() < t_end) {
+            const int64_t k = static_cast<int64_t>(rng.below(kRange));
+            const bool ins = (rng.next() & 1) != 0;  // decide outside the CS:
+            // a retried section must re-run the *same* operation
+            const bool count = ctx.nowCycles() >= env.statsStart();
+            lock.execute(ctx, [&] {
+              if (ins) {
+                tree.insert(ctx, k);
+              } else {
+                tree.erase(ctx, k);
+              }
+            });
+            if (count) ctx.stats().ops++;
+            ctx.work(140);
+          }
+        },
+        sim::placeThread(mc, sim::PinPolicy::kFillSocketFirst, i));
+  }
+  env.run();
+  return static_cast<double>(env.totals().ops) / (measure_ms * 1e-3) / 1e6;
+}
+
+double runDelegation(int nclients, int batch, double measure_ms,
+                     double warmup_ms) {
+  sim::MachineConfig mc = sim::LargeMachine();
+  mc.seed = 7 + nclients;
+  Env env(mc);
+  ds::AvlTree tree(env);
+  prefill(env, tree, mc.seed);
+  sync::TleLock lock(env);
+  sync::DelegationFabric fabric(env, lock, nclients, mc.sockets, kRange / 2,
+                                batch);
+  auto exec = [&](ThreadCtx& ctx, int64_t op, int64_t key) -> int64_t {
+    switch (op) {
+      case sync::DelegationFabric::kInsert: return tree.insert(ctx, key);
+      case sync::DelegationFabric::kErase: return tree.erase(ctx, key);
+      default: return tree.contains(ctx, key);
+    }
+  };
+  const uint64_t t_end = mc.msToCycles(warmup_ms + measure_ms);
+  env.setStatsStart(mc.msToCycles(warmup_ms));
+  // One server per socket, on dedicated cores (threads 0 and 36).
+  std::vector<sim::SimThread*> done;
+  auto* finished = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *finished = 0;
+  for (int s = 0; s < mc.sockets; ++s) {
+    env.spawnWorker(
+        [&, s](ThreadCtx& ctx) { fabric.serve(ctx, s, exec); },
+        sim::placeThread(mc, sim::PinPolicy::kFillSocketFirst, s * 36));
+  }
+  for (int i = 0; i < nclients; ++i) {
+    // Clients avoid the server cores.
+    const int hw = 1 + (i % 35) + (i / 35) * 36;
+    env.spawnWorker(
+        [&, i, t_end](ThreadCtx& ctx) {
+          auto& rng = ctx.rng();
+          while (ctx.nowCycles() < t_end) {
+            const int64_t k = static_cast<int64_t>(rng.below(kRange));
+            const bool count = ctx.nowCycles() >= env.statsStart();
+            const auto op = (rng.next() & 1) != 0
+                                ? sync::DelegationFabric::kInsert
+                                : sync::DelegationFabric::kErase;
+            fabric.request(ctx, i, op, k);
+            if (count) ctx.stats().ops++;
+            ctx.work(140);
+          }
+          if (ctx.fetchAdd(*finished, int64_t{1}) + 1 == nclients) {
+            fabric.stop(ctx);
+          }
+        },
+        sim::placeThread(mc, sim::PinPolicy::kFillSocketFirst, hw % 72));
+  }
+  env.run();
+  return static_cast<double>(env.totals().ops) / (measure_ms * 1e-3) / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  emitHeader("alt_approaches (y = Mops/s; Section 4.1 alternatives)");
+  const double measure = 1.5 * opt.time_scale;
+  const double warmup = 0.8 * opt.time_scale;
+  const std::vector<int> axis = {18, 36, 48, 72};
+
+  SetBenchConfig cfg;
+  cfg.key_range = kRange;
+  cfg.update_pct = 100;
+  cfg.measure_ms = measure;
+  cfg.warmup_ms = warmup;
+  for (SyncKind sync : {SyncKind::kTle, SyncKind::kNatle}) {
+    cfg.sync = sync;
+    for (int n : axis) {
+      cfg.nthreads = n;
+      emitRow(toString(sync), n, runSetBench(cfg).mops);
+    }
+  }
+  for (uint64_t backoff : {1000ull, 10000ull, 100000ull}) {
+    for (int n : axis) {
+      char series[48];
+      std::snprintf(series, sizeof series, "backoff-%llu",
+                    static_cast<unsigned long long>(backoff));
+      emitRow(series, n, runBackoff(n, backoff, measure, warmup));
+    }
+  }
+  for (int batch : {1, 8}) {
+    for (int n : axis) {
+      const int clients = n > 2 ? n - 2 : 1;  // two cores serve
+      char series[48];
+      std::snprintf(series, sizeof series, "delegation-b%d", batch);
+      emitRow(series, n, runDelegation(clients, batch, measure, warmup));
+    }
+  }
+  std::fprintf(stderr, "alt approaches done\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 1: AVL tree, 100% updates, key range [0, 2048), TLE-20.
+// Left panel: the large two-socket machine (speedup collapses as soon as a
+// thread runs on the second socket). Right panel: the small single-socket
+// machine (scales to saturation).
+#include <cstdio>
+
+#include "workload/options.hpp"
+#include "workload/setbench.hpp"
+
+using namespace natle;
+using namespace natle::workload;
+
+namespace {
+
+void runMachine(const char* series, const sim::MachineConfig& mc,
+                const BenchOptions& opt) {
+  SetBenchConfig cfg;
+  cfg.machine = mc;
+  cfg.key_range = 2048;
+  cfg.update_pct = 100;
+  cfg.sync = SyncKind::kTle;
+  cfg.measure_ms = 2.5 * opt.time_scale;
+  cfg.warmup_ms = 1.0 * opt.time_scale;
+  cfg.trials = opt.full ? 3 : 1;
+
+  double base = 0;
+  for (int n : threadAxis(mc, opt.full)) {
+    cfg.nthreads = n;
+    const SetBenchResult r = runSetBench(cfg);
+    if (n == 1) base = r.mops;
+    emitRow(series, n, base > 0 ? r.mops / base : 0);
+    std::fprintf(stderr, "%s n=%d mops=%.3f speedup=%.2f abort=%.3f\n", series,
+                 n, r.mops, base > 0 ? r.mops / base : 0, r.abort_rate);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  emitHeader("fig01_avl_two_machines (y = speedup over 1 thread)");
+  runMachine("large-tle20", sim::LargeMachine(), opt);
+  runMachine("small-tle20", sim::SmallMachine(), opt);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 2: retry policies on the large machine. AVL tree, 100% updates,
+// key range [0, 131072).
+//   (a) throughput for TLE-{5,20}{,-hint-bit,-count-lock}
+//   (b) percent of TLE-20 transactions that commit after at least one
+//       failure with the hint bit clear
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "workload/options.hpp"
+#include "workload/setbench.hpp"
+
+using namespace natle;
+using namespace natle::workload;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  emitHeader("fig02_retry_policies (a: y = Mops/s; b: y = % commits)");
+
+  const std::vector<std::pair<const char*, sync::TlePolicy>> policies = {
+      {"TLE-20", sync::Tle20()},
+      {"TLE-5", sync::Tle5()},
+      {"TLE-20-hint-bit", sync::Tle20HintBit()},
+      {"TLE-5-hint-bit", sync::Tle5HintBit()},
+      {"TLE-20-count-lock", sync::Tle20CountLock()},
+      {"TLE-5-count-lock", sync::Tle5CountLock()},
+  };
+
+  SetBenchConfig cfg;
+  cfg.key_range = 131072;
+  cfg.update_pct = 100;
+  cfg.sync = SyncKind::kTle;
+  cfg.measure_ms = 2.0 * opt.time_scale;
+  cfg.warmup_ms = 0.8 * opt.time_scale;
+  cfg.trials = opt.full ? 3 : 1;
+
+  const auto axis = threadAxis(cfg.machine, opt.full);
+  for (const auto& [name, pol] : policies) {
+    cfg.tle = pol;
+    for (int n : axis) {
+      cfg.nthreads = n;
+      const SetBenchResult r = runSetBench(cfg);
+      emitRow(name, n, r.mops);
+      if (std::string(name) == "TLE-20") {
+        emitRow("TLE-20-pct-commit-after-hintclear", n, r.hintclear_commit_pct);
+      }
+      std::fprintf(stderr, "%s n=%d mops=%.3f hintclear%%=%.2f locks=%llu\n",
+                   name, n, r.mops, r.hintclear_commit_pct,
+                   static_cast<unsigned long long>(r.stats.lock_acquires));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 3: AVL tree, key range [0, 2048), TLE-20. Read-only scales to all
+// 72 threads; just 2% updates flattens the curve after 36 threads.
+#include <cstdio>
+
+#include "workload/options.hpp"
+#include "workload/setbench.hpp"
+
+using namespace natle;
+using namespace natle::workload;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  emitHeader("fig03_readonly_vs_2pct (y = Mops/s)");
+  SetBenchConfig cfg;
+  cfg.key_range = 2048;
+  cfg.sync = SyncKind::kTle;
+  cfg.measure_ms = 2.0 * opt.time_scale;
+  cfg.warmup_ms = 0.8 * opt.time_scale;
+  cfg.trials = opt.full ? 3 : 1;
+  for (int upd : {0, 2}) {
+    cfg.update_pct = upd;
+    const std::string series =
+        upd == 0 ? "100%-lookup" : "2%-updates";
+    for (int n : threadAxis(cfg.machine, opt.full)) {
+      cfg.nthreads = n;
+      const SetBenchResult r = runSetBench(cfg);
+      emitRow(series, n, r.mops);
+      std::fprintf(stderr, "%s n=%d mops=%.3f abort=%.3f\n", series.c_str(), n,
+                   r.mops, r.abort_rate);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 4: search-and-replace on an AVL tree with key range [0, 4096),
+// TLE vs no synchronization. The operation is semantically a no-op write, so
+// it needs no synchronization — comparing the two isolates how much HTM
+// amplifies NUMA effects (the paper: no-sync loses 26% from 36->72 threads,
+// TLE loses 75%).
+#include <cstdio>
+
+#include "workload/options.hpp"
+#include "workload/setbench.hpp"
+
+using namespace natle;
+using namespace natle::workload;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  emitHeader("fig04_search_replace (y = speedup over 1 thread)");
+  SetBenchConfig cfg;
+  cfg.key_range = 4096;
+  cfg.search_replace = true;
+  cfg.measure_ms = 2.0 * opt.time_scale;
+  cfg.warmup_ms = 0.8 * opt.time_scale;
+  cfg.trials = opt.full ? 3 : 1;
+  for (SyncKind sync : {SyncKind::kTle, SyncKind::kNone}) {
+    cfg.sync = sync;
+    const char* series = sync == SyncKind::kTle ? "TLE" : "no-sync";
+    double base = 0;
+    for (int n : threadAxis(cfg.machine, opt.full)) {
+      cfg.nthreads = n;
+      const SetBenchResult r = runSetBench(cfg);
+      if (n == 1) base = r.mops;
+      emitRow(series, n, base > 0 ? r.mops / base : 0);
+      std::fprintf(stderr, "%s n=%d mops=%.3f speedup=%.2f abort=%.3f\n",
+                   series, n, r.mops, base > 0 ? r.mops / base : 0,
+                   r.abort_rate);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 12: AVL trees, key range [0, 2048), TLE vs NATLE, six panels:
+// update fractions {0, 20, 100}% crossed with {no external work, external
+// work drawn from [0, 256) units}. NATLE pays a profiling tax on workloads
+// that scale across sockets (read-only) but holds near-peak throughput on
+// workloads that collapse under TLE.
+#include <cstdio>
+
+#include "workload/options.hpp"
+#include "workload/setbench.hpp"
+
+using namespace natle;
+using namespace natle::workload;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  emitHeader("fig12_avl_tle_vs_natle (y = Mops/s)");
+  SetBenchConfig cfg;
+  cfg.key_range = 2048;
+  cfg.measure_ms = 2.0 * opt.time_scale;
+  cfg.warmup_ms = 1.0 * opt.time_scale;
+  cfg.trials = opt.full ? 3 : 1;
+  for (bool ext : {false, true}) {
+    cfg.ext.max_units = ext ? 256 : 0;
+    for (int upd : {0, 20, 100}) {
+      cfg.update_pct = upd;
+      for (SyncKind sync : {SyncKind::kTle, SyncKind::kNatle}) {
+        cfg.sync = sync;
+        char series[64];
+        std::snprintf(series, sizeof series, "%s-upd%d-%s", toString(sync), upd,
+                      ext ? "extwork" : "nowork");
+        for (int n : threadAxis(cfg.machine, opt.full)) {
+          cfg.nthreads = n;
+          const SetBenchResult r = runSetBench(cfg);
+          emitRow(series, n, r.mops);
+          std::fprintf(stderr, "%s n=%d mops=%.3f abort=%.3f locks=%llu\n",
+                       series, n, r.mops, r.abort_rate,
+                       static_cast<unsigned long long>(r.stats.lock_acquires));
+        }
+      }
+    }
+  }
+  return 0;
+}

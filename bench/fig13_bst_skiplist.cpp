@@ -1,0 +1,42 @@
+// Figure 13: unbalanced (leaf-oriented) BSTs and skip lists, key range
+// [0, 2048), with external work — TLE vs NATLE. The BST's updates modify
+// only nodes near the leaves, so TLE is not prone to the NUMA effect and
+// NATLE chooses both sockets; the skip list behaves like the AVL tree.
+#include <cstdio>
+
+#include "workload/options.hpp"
+#include "workload/setbench.hpp"
+
+using namespace natle;
+using namespace natle::workload;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  emitHeader("fig13_bst_skiplist (y = Mops/s)");
+  SetBenchConfig cfg;
+  cfg.key_range = 2048;
+  cfg.ext.max_units = 256;
+  cfg.measure_ms = 2.0 * opt.time_scale;
+  cfg.warmup_ms = 1.0 * opt.time_scale;
+  cfg.trials = opt.full ? 3 : 1;
+  for (DsKind ds : {DsKind::kLeafBst, DsKind::kSkipList}) {
+    cfg.ds = ds;
+    for (int upd : {20, 100}) {
+      cfg.update_pct = upd;
+      for (SyncKind sync : {SyncKind::kTle, SyncKind::kNatle}) {
+        cfg.sync = sync;
+        char series[64];
+        std::snprintf(series, sizeof series, "%s-%s-upd%d", toString(ds),
+                      toString(sync), upd);
+        for (int n : threadAxis(cfg.machine, opt.full)) {
+          cfg.nthreads = n;
+          const SetBenchResult r = runSetBench(cfg);
+          emitRow(series, n, r.mops);
+          std::fprintf(stderr, "%s n=%d mops=%.3f abort=%.3f\n", series, n,
+                       r.mops, r.abort_rate);
+        }
+      }
+    }
+  }
+  return 0;
+}

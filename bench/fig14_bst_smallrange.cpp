@@ -1,0 +1,39 @@
+// Figure 14: unbalanced BST with a tiny key range [0, 128): now update
+// operations do conflict near the (shallow) leaves, TLE becomes susceptible
+// to the NUMA effect, and NATLE's profiling switches to one-socket-at-a-time
+// mode. Panels: (a) 40% updates, (b) 100% updates.
+#include <cstdio>
+
+#include "workload/options.hpp"
+#include "workload/setbench.hpp"
+
+using namespace natle;
+using namespace natle::workload;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  emitHeader("fig14_bst_smallrange (y = Mops/s)");
+  SetBenchConfig cfg;
+  cfg.key_range = 128;
+  cfg.ds = DsKind::kLeafBst;
+  cfg.ext.max_units = 256;
+  cfg.measure_ms = 2.0 * opt.time_scale;
+  cfg.warmup_ms = 1.0 * opt.time_scale;
+  cfg.trials = opt.full ? 3 : 1;
+  for (int upd : {40, 100}) {
+    cfg.update_pct = upd;
+    for (SyncKind sync : {SyncKind::kTle, SyncKind::kNatle}) {
+      cfg.sync = sync;
+      char series[64];
+      std::snprintf(series, sizeof series, "%s-upd%d", toString(sync), upd);
+      for (int n : threadAxis(cfg.machine, opt.full)) {
+        cfg.nthreads = n;
+        const SetBenchResult r = runSetBench(cfg);
+        emitRow(series, n, r.mops);
+        std::fprintf(stderr, "%s n=%d mops=%.3f abort=%.3f\n", series, n,
+                     r.mops, r.abort_rate);
+      }
+    }
+  }
+  return 0;
+}

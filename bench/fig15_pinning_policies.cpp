@@ -1,0 +1,42 @@
+// Figure 15: alternative thread-placement policies for the AVL tree with
+// 100% updates, key range [0, 2048), external work. Left: threads pinned to
+// alternating sockets. Right: no pinning (the OS placement model spreads
+// load and occasionally migrates threads). Both place threads on the second
+// socket from the start, so NATLE's benefit appears at low thread counts.
+#include <cstdio>
+
+#include "workload/options.hpp"
+#include "workload/setbench.hpp"
+
+using namespace natle;
+using namespace natle::workload;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  emitHeader("fig15_pinning_policies (y = Mops/s)");
+  SetBenchConfig cfg;
+  cfg.key_range = 2048;
+  cfg.update_pct = 100;
+  cfg.ext.max_units = 256;
+  cfg.measure_ms = 2.0 * opt.time_scale;
+  cfg.warmup_ms = 1.0 * opt.time_scale;
+  cfg.trials = opt.full ? 3 : 1;
+  for (sim::PinPolicy pin :
+       {sim::PinPolicy::kAlternateSockets, sim::PinPolicy::kUnpinned}) {
+    cfg.pin = pin;
+    for (SyncKind sync : {SyncKind::kTle, SyncKind::kNatle}) {
+      cfg.sync = sync;
+      char series[64];
+      std::snprintf(series, sizeof series, "%s-%s", toString(pin),
+                    toString(sync));
+      for (int n : threadAxis(cfg.machine, opt.full)) {
+        cfg.nthreads = n;
+        const SetBenchResult r = runSetBench(cfg);
+        emitRow(series, n, r.mops);
+        std::fprintf(stderr, "%s n=%d mops=%.3f abort=%.3f\n", series, n,
+                     r.mops, r.abort_rate);
+      }
+    }
+  }
+  return 0;
+}

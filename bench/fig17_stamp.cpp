@@ -1,0 +1,45 @@
+// Figure 17: the STAMP suite (Ruan et al. revision) with every transaction
+// run as a critical section on one global lock, elided with TLE or NATLE.
+// Nine charts (bayes omitted for variance, as in the paper); y is total
+// runtime in simulated milliseconds — lower is better. The paper's headline:
+// in 7 of 9 charts TLE's runtime skyrockets past 36 threads while NATLE
+// stays roughly flat.
+#include <cstdio>
+
+#include "apps/stamp/stamp.hpp"
+#include "workload/options.hpp"
+
+using namespace natle;
+using namespace natle::apps::stamp;
+using namespace natle::workload;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  emitHeader("fig17_stamp (y = runtime in simulated ms; lower is better)");
+  StampConfig cfg;
+  cfg.scale = 1.0 * opt.time_scale;
+  const std::vector<int> axis =
+      opt.full ? std::vector<int>{1, 2, 4, 8, 12, 18, 24, 30, 36, 40, 44,
+                                  48, 54, 63, 72}
+               : std::vector<int>{1, 4, 12, 18, 36, 40, 48, 72};
+  for (const auto& k : kernels()) {
+    for (bool natle : {false, true}) {
+      for (int n : axis) {
+        cfg.nthreads = n;
+        cfg.natle = natle;
+        cfg.seed = 17 + n;
+        const StampResult r = k.fn(cfg);
+        char series[64];
+        std::snprintf(series, sizeof series, "%s-%s", k.name,
+                      natle ? "natle" : "tle");
+        emitRow(series, n, r.sim_ms);
+        std::fprintf(stderr, "%s n=%d ms=%.3f commits=%llu aborts=%llu locks=%llu\n",
+                     series, n, r.sim_ms,
+                     static_cast<unsigned long long>(r.tx_commits),
+                     static_cast<unsigned long long>(r.tx_aborts),
+                     static_cast<unsigned long long>(r.lock_acquires));
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 18: the ccTSA sequence assembler.
+//   (a) total runtime with the default pinning policy;
+//   (b) the fraction of each quantum NATLE allocates to socket 0 in a
+//       72-thread run, per cycle;
+//   (c) total runtime without pinning (NATLE's benefit appears much
+//       earlier because the OS spreads threads across sockets).
+#include <cstdio>
+
+#include "apps/cctsa/cctsa.hpp"
+#include "workload/options.hpp"
+
+using namespace natle;
+using namespace natle::apps::cctsa;
+using namespace natle::workload;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  emitHeader("fig18_cctsa (a,c: y = runtime sim-ms; b: y = socket-0 share)");
+  CctsaConfig cfg;
+  cfg.scale = 1.0 * opt.time_scale;
+  const std::vector<int> axis =
+      opt.full ? std::vector<int>{1, 2, 4, 8, 12, 18, 24, 30, 36, 40, 48, 54,
+                                  63, 72}
+               : std::vector<int>{1, 4, 12, 18, 36, 40, 48, 72};
+  for (sim::PinPolicy pin :
+       {sim::PinPolicy::kFillSocketFirst, sim::PinPolicy::kUnpinned}) {
+    cfg.pin = pin;
+    const char* panel =
+        pin == sim::PinPolicy::kFillSocketFirst ? "pinned" : "unpinned";
+    for (bool natle : {false, true}) {
+      cfg.natle = natle;
+      for (int n : axis) {
+        cfg.nthreads = n;
+        cfg.seed = 18 + n;
+        const CctsaResult r = runCctsa(cfg);
+        char series[64];
+        std::snprintf(series, sizeof series, "%s-%s", panel,
+                      natle ? "natle" : "tle");
+        emitRow(series, n, r.sim_ms);
+        std::fprintf(stderr, "%s n=%d ms=%.3f kmers=%llu links=%llu\n", series,
+                     n, r.sim_ms,
+                     static_cast<unsigned long long>(r.kmers_indexed),
+                     static_cast<unsigned long long>(r.contig_links));
+
+      }
+    }
+  }
+  // Panel (b): socket-0 time share per NATLE cycle at 72 threads. A
+  // dedicated longer run so the history spans many profiling cycles.
+  {
+    CctsaConfig bcfg;
+    bcfg.scale = 6.0 * opt.time_scale;
+    bcfg.nthreads = 72;
+    bcfg.natle = true;
+    bcfg.seed = 181;
+    const CctsaResult r = runCctsa(bcfg);
+    for (const auto& d : r.natle_history) {
+      emitRow("socket0-share-72t", static_cast<double>(d.cycle_index),
+              d.socket0_share);
+    }
+    std::fprintf(stderr, "panel-b cycles=%zu\n", r.natle_history.size());
+  }
+  return 0;
+}

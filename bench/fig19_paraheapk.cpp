@@ -1,0 +1,43 @@
+// Figure 19: paraheap-k (heap-based parallel k-means over galactic data).
+//   (a) with pinning: worker threads are re-created and re-pinned twice per
+//       iteration, and that overhead eats most of NATLE's benefit;
+//   (b) without pinning: NATLE's advantage is much larger and appears from
+//       18 threads.
+#include <cstdio>
+
+#include <vector>
+
+#include "apps/paraheapk/paraheapk.hpp"
+#include "workload/options.hpp"
+
+using namespace natle;
+using namespace natle::apps::paraheapk;
+using namespace natle::workload;
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = BenchOptions::parse(argc, argv);
+  emitHeader("fig19_paraheapk (y = processing runtime in simulated ms)");
+  ParaheapConfig cfg;
+  cfg.scale = 0.5 * opt.time_scale;
+  const std::vector<int> axis =
+      opt.full ? std::vector<int>{1, 2, 4, 8, 12, 18, 24, 30, 36, 40, 48, 54,
+                                  63, 72}
+               : std::vector<int>{1, 4, 12, 18, 36, 40, 48, 72};
+  for (bool pin : {true, false}) {
+    cfg.pin_threads = pin;
+    for (bool natle : {false, true}) {
+      cfg.natle = natle;
+      for (int n : axis) {
+        cfg.nthreads = n;
+        cfg.seed = 19 + n;
+        const ParaheapResult r = runParaheapK(cfg);
+        char series[64];
+        std::snprintf(series, sizeof series, "%s-%s",
+                      pin ? "pinned" : "unpinned", natle ? "natle" : "tle");
+        emitRow(series, n, r.sim_ms);
+        std::fprintf(stderr, "%s n=%d ms=%.3f\n", series, n, r.sim_ms);
+      }
+    }
+  }
+  return 0;
+}

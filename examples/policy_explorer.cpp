@@ -1,0 +1,41 @@
+// Explore TLE retry policies (the paper's Section 3.1) on one workload: how
+// many attempts to allow, whether to trust the hardware hint bit, and
+// whether lock-held waits count toward the budget. Prints a small table of
+// throughput and fallback counts at 36 threads.
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "workload/setbench.hpp"
+
+using namespace natle;
+using namespace natle::workload;
+
+int main() {
+  SetBenchConfig cfg;
+  cfg.key_range = 131072;
+  cfg.update_pct = 100;
+  cfg.sync = SyncKind::kTle;
+  cfg.nthreads = 36;
+  cfg.measure_ms = 1.5;
+  cfg.warmup_ms = 0.6;
+
+  const std::vector<std::pair<const char*, sync::TlePolicy>> policies = {
+      {"TLE-20 (paper default)", sync::Tle20()},
+      {"TLE-5", sync::Tle5()},
+      {"TLE-20-hint-bit", sync::Tle20HintBit()},
+      {"TLE-5-hint-bit", sync::Tle5HintBit()},
+      {"TLE-20-count-lock", sync::Tle20CountLock()},
+      {"TLE-5-count-lock", sync::Tle5CountLock()},
+  };
+  std::printf("%-24s %10s %10s %14s\n", "policy", "Mops/s", "abort%",
+              "lock acquires");
+  for (const auto& [name, pol] : policies) {
+    cfg.tle = pol;
+    const SetBenchResult r = runSetBench(cfg);
+    std::printf("%-24s %10.2f %9.1f%% %14llu\n", name, r.mops,
+                100.0 * r.abort_rate,
+                static_cast<unsigned long long>(r.stats.lock_acquires));
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+#!/bin/bash
+# Run every bench binary, teeing each output to bench_results/<name>.csv
+mkdir -p /root/repo/bench_results
+for b in /root/repo/build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  case "$b" in *cmake*|*CMakeFiles*|*CTestTestfile*) continue;; esac
+  name=$(basename "$b")
+  echo "=== $name ==="
+  "$b" > "/root/repo/bench_results/$name.csv" 2>"/root/repo/bench_results/$name.log"
+  echo "rc=$?"
+done

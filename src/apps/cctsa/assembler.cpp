@@ -1,0 +1,113 @@
+#include "apps/cctsa/cctsa.hpp"
+
+#include "ds/hashmap.hpp"
+#include "htm/env.hpp"
+#include "sim/barrier.hpp"
+#include "sync/elide.hpp"
+
+namespace natle::apps::cctsa {
+
+namespace {
+
+constexpr int kReadLen = 36;
+constexpr int kKmer = 16;
+constexpr int kCoverage = 6;
+
+// 2-bit packed k-mer starting at `pos` of the synthetic genome.
+uint64_t kmerAt(const std::vector<uint8_t>& genome, size_t pos) {
+  uint64_t v = 0;
+  for (int i = 0; i < kKmer; ++i) {
+    v = (v << 2) | genome[(pos + i) % genome.size()];
+  }
+  return v;
+}
+
+}  // namespace
+
+CctsaResult runCctsa(const CctsaConfig& cfg) {
+  sim::MachineConfig mc = cfg.machine;
+  mc.seed = cfg.seed;
+  htm::Env env(mc);
+  sync::ElisionLock lock(env, cfg.natle, sync::TlePolicy{}, cfg.natle_cfg);
+  if (lock.natle() != nullptr) {
+    lock.natle()->setActiveRows(cfg.nthreads < 128 ? 128 : cfg.nthreads);
+  }
+
+  // Synthetic genome and read set.
+  const size_t genome_len = static_cast<size_t>(60000 * cfg.scale);
+  const size_t nreads = genome_len * kCoverage / kReadLen;
+  std::vector<uint8_t> genome(genome_len);
+  std::vector<uint32_t> read_pos(nreads);
+  {
+    sim::Rng gen(cfg.seed ^ 0xcc75a);
+    for (auto& b : genome) b = static_cast<uint8_t>(gen.below(4));
+    for (auto& p : read_pos) {
+      p = static_cast<uint32_t>(gen.below(genome_len));
+    }
+  }
+
+  ds::HashMap kmer_table(env, 1 << 16, false);
+  auto* new_kmers = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *new_kmers = 0;
+  auto* links = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *links = 0;
+  auto* cursor = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *cursor = 0;
+  auto* cursor2 = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *cursor2 = 0;
+  sim::Barrier barrier(env.machine(), cfg.nthreads);
+
+  for (int i = 0; i < cfg.nthreads; ++i) {
+    const auto slot = sim::placeThread(mc, cfg.pin, i);
+    const bool pinned = cfg.pin != sim::PinPolicy::kUnpinned;
+    env.spawnWorker(
+        [&](htm::ThreadCtx& ctx) {
+          // Phase 1: index every k-mer of every read in the shared table.
+          for (;;) {
+            const int64_t r = ctx.fetchAdd(*cursor, int64_t{1});
+            if (r >= static_cast<int64_t>(nreads)) break;
+            ctx.opBoundary();
+            const size_t base = read_pos[static_cast<size_t>(r)];
+            for (int off = 0; off + kKmer <= kReadLen; off += 5) {
+              const uint64_t kmer = kmerAt(genome, base + off);
+              ctx.work(140);  // extract and pack the subsequence
+              int64_t occurrences = 0;
+              lock.execute(ctx, [&] {
+                occurrences =
+                    kmer_table.upsertAdd(ctx, static_cast<int64_t>(kmer), 1);
+              });
+              if (occurrences == 1) ctx.fetchAdd(*new_kmers, int64_t{1});
+            }
+          }
+          barrier.arrive(ctx.simThread());
+          // Phase 2: extend contigs — look up each read's terminal k-mer's
+          // successor candidates in the table.
+          for (;;) {
+            const int64_t r = ctx.fetchAdd(*cursor2, int64_t{1});
+            if (r >= static_cast<int64_t>(nreads)) break;
+            ctx.opBoundary();
+            const size_t base = read_pos[static_cast<size_t>(r)];
+            const uint64_t tail = kmerAt(genome, base + kReadLen - kKmer);
+            ctx.work(120);
+            bool hit = false;
+            lock.execute(ctx, [&] {
+              int64_t count = 0;
+              hit = kmer_table.get(ctx, static_cast<int64_t>(tail), count) &&
+                    count >= 2;
+            });
+            if (hit) ctx.fetchAdd(*links, int64_t{1});
+          }
+        },
+        slot, pinned);
+  }
+  env.run();
+
+  CctsaResult r;
+  r.sim_ms = static_cast<double>(env.machine().maxFinishClock()) / (mc.ghz * 1e6);
+  r.kmers_indexed = static_cast<uint64_t>(*new_kmers);
+  r.contig_links = static_cast<uint64_t>(*links);
+  if (lock.natle() != nullptr) r.natle_history = lock.natle()->history();
+  return r;
+}
+
+}  // namespace natle::apps::cctsa

@@ -1,0 +1,39 @@
+// ccTSA substitute: a coverage-centric de-novo sequence assembler with the
+// transactified design the paper evaluates (Dice et al., PPoPP 2016): one
+// single lock-protected hash map holds every sub-sequence (k-mer) during
+// processing. The paper feeds it E. coli reads; we generate a synthetic
+// genome and reads with the same shape (fixed-length reads, configurable
+// coverage, k-mer subsequences), which preserves the only property the
+// evaluation depends on — a single hot hash map under short insert/lookup
+// critical sections.
+#pragma once
+
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/topology.hpp"
+#include "sync/natle.hpp"
+
+namespace natle::apps::cctsa {
+
+struct CctsaConfig {
+  sim::MachineConfig machine = sim::LargeMachine();
+  int nthreads = 1;
+  bool natle = false;
+  sim::PinPolicy pin = sim::PinPolicy::kFillSocketFirst;
+  double scale = 1.0;
+  uint64_t seed = 1;
+  sync::NatleConfig natle_cfg{.profiling_ms = 0.1};
+};
+
+struct CctsaResult {
+  double sim_ms = 0;
+  uint64_t kmers_indexed = 0;
+  uint64_t contig_links = 0;
+  // NATLE's per-cycle decisions (Figure 18(b)).
+  std::vector<sync::NatleCycleDecision> natle_history;
+};
+
+CctsaResult runCctsa(const CctsaConfig&);
+
+}  // namespace natle::apps::cctsa

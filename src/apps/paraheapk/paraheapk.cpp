@@ -1,0 +1,160 @@
+#include "apps/paraheapk/paraheapk.hpp"
+
+#include <memory>
+
+#include "ds/dheap.hpp"
+#include "htm/env.hpp"
+#include "sim/barrier.hpp"
+#include "sync/elide.hpp"
+
+namespace natle::apps::paraheapk {
+
+namespace {
+constexpr int kCentroids = 8;
+constexpr int kDims = 3;  // galactic coordinates
+constexpr int kCounters = 6;
+constexpr int kIterations = 12;
+}  // namespace
+
+ParaheapResult runParaheapK(const ParaheapConfig& cfg) {
+  sim::MachineConfig mc = cfg.machine;
+  mc.seed = cfg.seed;
+  htm::Env env(mc);
+
+  // The seven critical sections: six counters + the heap, each with its own
+  // lock (an interesting multi-lock case for NATLE, per the paper).
+  std::vector<std::unique_ptr<sync::ElisionLock>> counter_locks;
+  for (int i = 0; i < kCounters; ++i) {
+    counter_locks.push_back(std::make_unique<sync::ElisionLock>(
+        env, cfg.natle, sync::TlePolicy{}, cfg.natle_cfg));
+  }
+  sync::ElisionLock heap_lock(env, cfg.natle, sync::TlePolicy{}, cfg.natle_cfg);
+  ds::DHeap heap(env, 256);
+  auto* counters = static_cast<int64_t*>(
+      env.allocShared(kCounters * 8 * sizeof(int64_t)));
+  for (int i = 0; i < kCounters * 8; ++i) counters[i] = 0;
+
+  const int64_t npoints = static_cast<int64_t>(6000 * cfg.scale);
+  auto* points = static_cast<int64_t*>(env.allocShared(
+      static_cast<size_t>(npoints) * 8 * sizeof(int64_t)));
+  auto* centroids = static_cast<int64_t*>(
+      env.allocShared(kCentroids * 8 * sizeof(int64_t)));
+  {
+    sim::Rng gen(cfg.seed ^ 0x9a1a);
+    for (int64_t p = 0; p < npoints; ++p) {
+      const int64_t cluster = static_cast<int64_t>(gen.below(kCentroids));
+      for (int d = 0; d < kDims; ++d) {
+        points[p * 8 + d] =
+            cluster * 1000 + static_cast<int64_t>(gen.below(300));
+      }
+    }
+    for (int c = 0; c < kCentroids; ++c) {
+      for (int d = 0; d < kDims; ++d) {
+        centroids[c * 8 + d] = static_cast<int64_t>(gen.below(8000));
+      }
+    }
+  }
+  // Per-worker partial sums, one row of lines per worker slot.
+  auto* partial = static_cast<int64_t*>(env.allocShared(
+      static_cast<size_t>(cfg.nthreads) * kCentroids * 8 * sizeof(int64_t)));
+
+  const int64_t per_thread = (npoints + cfg.nthreads - 1) / cfg.nthreads;
+
+  // Coordinator: creates (and optionally pins) fresh workers twice per
+  // iteration — paraheap-k's defining costly habit.
+  env.spawnWorker(
+      [&](htm::ThreadCtx& coord) {
+        for (int iter = 0; iter < kIterations; ++iter) {
+          for (int phase = 0; phase < 2; ++phase) {
+            sim::Barrier done(env.machine(), cfg.nthreads + 1);
+            for (int i = 0; i < cfg.nthreads; ++i) {
+              coord.work(env.cfg().thread_create_cost);
+              const auto slot = sim::placeThread(
+                  mc,
+                  cfg.pin_threads ? sim::PinPolicy::kFillSocketFirst
+                                  : sim::PinPolicy::kUnpinned,
+                  i);
+              env.spawnWorker(
+                  [&, i, phase](htm::ThreadCtx& ctx) {
+                    if (cfg.pin_threads) {
+                      ctx.work(env.cfg().thread_pin_cost);
+                    }
+                    const int64_t begin = i * per_thread;
+                    const int64_t end =
+                        std::min<int64_t>(npoints, begin + per_thread);
+                    for (int64_t p = begin; p < end; ++p) {
+                      ctx.opBoundary();
+                      // Distance computation (local math).
+                      int64_t best = 0;
+                      int64_t best_d2 = INT64_MAX;
+                      for (int c = 0; c < kCentroids; ++c) {
+                        int64_t d2 = 0;
+                        for (int d = 0; d < kDims; ++d) {
+                          const int64_t delta =
+                              ctx.load(points[p * 8 + d]) -
+                              ctx.load(centroids[c * 8 + d]);
+                          d2 += delta * delta;
+                        }
+                        if (d2 < best_d2) {
+                          best_d2 = d2;
+                          best = c;
+                        }
+                      }
+                      if (phase == 0) {
+                        // Association phase: outliers go through the heap.
+                        if (best_d2 > 250000) {
+                          heap_lock.execute(ctx, [&] {
+                            if (heap.size(ctx) >=
+                                static_cast<int64_t>(heap.capacity())) {
+                              int64_t prio = 0, payload = 0;
+                              heap.pop(ctx, prio, payload);
+                            }
+                            heap.push(ctx, best_d2, p);
+                          });
+                        }
+                        // One of the six short counter critical sections.
+                        const int which = static_cast<int>(p % kCounters);
+                        counter_locks[which]->execute(ctx, [&] {
+                          ctx.store(counters[which * 8],
+                                    ctx.load(counters[which * 8]) + 1);
+                        });
+                      } else {
+                        // Recalculation phase: local partial sums.
+                        int64_t* row = partial + (i * kCentroids + best) * 8;
+                        ctx.store(row[0], ctx.load(row[0]) + 1);
+                        const int which = static_cast<int>(best % kCounters);
+                        counter_locks[which]->execute(ctx, [&] {
+                          ctx.store(counters[which * 8],
+                                    ctx.load(counters[which * 8]) + 1);
+                        });
+                      }
+                      ctx.work(90);
+                    }
+                    done.arrive(ctx.simThread());
+                  },
+                  slot, cfg.pin_threads, coord.nowCycles());
+            }
+            done.arrive(coord.simThread());
+            // Nudge centroids from the partial counts (cheap, coordinator).
+            for (int c = 0; c < kCentroids; ++c) {
+              int64_t n = 0;
+              for (int i = 0; i < cfg.nthreads; ++i) {
+                n += coord.load(partial[(i * kCentroids + c) * 8]);
+              }
+              if (n > 0) {
+                coord.store(centroids[c * 8], coord.load(centroids[c * 8]) + 1);
+              }
+            }
+          }
+        }
+      },
+      sim::placeThread(mc, sim::PinPolicy::kFillSocketFirst, 0));
+  env.run();
+
+  ParaheapResult r;
+  r.sim_ms = static_cast<double>(env.machine().maxFinishClock()) / (mc.ghz * 1e6);
+  r.iterations = kIterations;
+  return r;
+}
+
+}  // namespace natle::apps::paraheapk

@@ -1,0 +1,34 @@
+// paraheap-k substitute (Jenne et al., Computer 2014): heap-based parallel
+// k-means over galactic coordinates. The properties the paper's evaluation
+// depends on are structural and preserved here: (1) seven critical sections
+// — six tiny shared-counter updates and one heap insert — each behind its
+// own lock; (2) worker threads are created (and pinned) afresh *twice per
+// iteration*, so with pinning enabled the creation/pinning overhead eats
+// most of NATLE's benefit, while unpinned runs show it clearly. Input is a
+// synthetic Gaussian-mixture star field instead of the survey file.
+#pragma once
+
+#include "sim/config.hpp"
+#include "sim/topology.hpp"
+#include "sync/natle.hpp"
+
+namespace natle::apps::paraheapk {
+
+struct ParaheapConfig {
+  sim::MachineConfig machine = sim::LargeMachine();
+  int nthreads = 1;
+  bool natle = false;
+  bool pin_threads = true;  // paraheap-k pins each freshly created worker
+  double scale = 1.0;
+  uint64_t seed = 1;
+  sync::NatleConfig natle_cfg{.profiling_ms = 0.1};
+};
+
+struct ParaheapResult {
+  double sim_ms = 0;  // processing time (input parsing excluded, as in the paper)
+  int iterations = 0;
+};
+
+ParaheapResult runParaheapK(const ParaheapConfig&);
+
+}  // namespace natle::apps::paraheapk

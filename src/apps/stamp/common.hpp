@@ -1,0 +1,88 @@
+// Shared plumbing for the STAMP kernel re-implementations.
+#pragma once
+
+#include "apps/stamp/stamp.hpp"
+#include "htm/env.hpp"
+#include "sync/elide.hpp"
+
+namespace natle::apps::stamp {
+
+// One simulated application run: an Env, the single process-wide elided
+// lock, and a thread pool covering `nthreads` hardware slots.
+class AppRun {
+ public:
+  explicit AppRun(const StampConfig& cfg)
+      : cfg_(cfg), env_(withSeed(cfg)),
+        lock_(env_, cfg.natle, sync::TlePolicy{}, cfg.natle_cfg) {
+    if (lock_.natle() != nullptr) {
+      lock_.natle()->setActiveRows(cfg.nthreads < 128 ? 128 : cfg.nthreads);
+    }
+  }
+
+  htm::Env& env() { return env_; }
+  sync::ElisionLock& lock() { return lock_; }
+  htm::ThreadCtx& setup() { return env_.setupCtx(); }
+
+  // Launch `fn(ctx, worker_index)` on every worker slot and run to
+  // completion.
+  void parallel(std::function<void(htm::ThreadCtx&, int)> fn) {
+    for (int i = 0; i < cfg_.nthreads; ++i) {
+      const auto slot = sim::placeThread(cfg_.machine, cfg_.pin, i);
+      const bool pinned = cfg_.pin != sim::PinPolicy::kUnpinned;
+      env_.spawnWorker([fn, i](htm::ThreadCtx& ctx) { fn(ctx, i); }, slot,
+                       pinned);
+    }
+    env_.run();
+  }
+
+  StampResult result() {
+    StampResult r;
+    r.sim_ms = static_cast<double>(env_.machine().maxFinishClock()) /
+               (cfg_.machine.ghz * 1e6);
+    const htm::TxStats t = env_.totals();
+    r.tx_commits = t.tx_commits;
+    r.tx_aborts = t.totalAborts();
+    r.lock_acquires = t.lock_acquires;
+    return r;
+  }
+
+ private:
+  static sim::MachineConfig withSeed(const StampConfig& cfg) {
+    sim::MachineConfig m = cfg.machine;
+    m.seed = cfg.seed;
+    return m;
+  }
+
+  StampConfig cfg_;
+  htm::Env env_;
+  sync::ElisionLock lock_;
+};
+
+// Dynamic work distribution: a shared chunked cursor (the STAMP kernels use
+// either static partitioning or a shared queue; a fetch-add cursor models
+// the latter with one line of contention).
+class WorkCursor {
+ public:
+  WorkCursor(htm::Env& env, int64_t total, int64_t chunk)
+      : total_(total), chunk_(chunk) {
+    next_ = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+    *next_ = 0;
+  }
+
+  // Claims [begin, end); returns false when exhausted. Called outside the
+  // critical section (the cursor is not part of any transaction).
+  bool claim(htm::ThreadCtx& ctx, int64_t& begin, int64_t& end) {
+    const int64_t b = ctx.fetchAdd(*next_, chunk_);
+    if (b >= total_) return false;
+    begin = b;
+    end = b + chunk_ < total_ ? b + chunk_ : total_;
+    return true;
+  }
+
+ private:
+  int64_t total_;
+  int64_t chunk_;
+  int64_t* next_;
+};
+
+}  // namespace natle::apps::stamp

@@ -1,0 +1,68 @@
+// STAMP genome: gene sequence assembly. Phase 1 deduplicates DNA segments
+// through a shared hash set (one short insert transaction per segment);
+// phase 2 matches overlapping segment ends, probing the table and linking
+// matches (short mostly-read transactions with rare link writes). Conflict
+// locality is low — the paper's Figure 17 shows genome scaling within a
+// socket and degrading across sockets.
+#include "apps/stamp/common.hpp"
+#include "ds/hashmap.hpp"
+#include "sim/barrier.hpp"
+
+namespace natle::apps::stamp {
+
+StampResult runGenome(const StampConfig& cfg) {
+  AppRun app(cfg);
+  auto& env = app.env();
+  const int64_t nsegments = static_cast<int64_t>(24000 * cfg.scale);
+  const int64_t genome_len = nsegments / 4;  // 4x coverage
+
+  // Pre-draw segment start positions (the input file).
+  std::vector<int64_t> seg_start(nsegments);
+  {
+    sim::Rng gen(cfg.seed ^ 0x6e6e);
+    for (auto& s : seg_start) {
+      s = static_cast<int64_t>(gen.below(genome_len));
+    }
+  }
+  ds::HashMap unique_segments(env, 1 << 15, false);
+  // Link table: one slot per genome position.
+  auto* links = static_cast<int64_t*>(
+      env.allocShared(static_cast<size_t>(genome_len) * sizeof(int64_t)));
+  for (int64_t i = 0; i < genome_len; ++i) links[i] = -1;
+
+  sim::Barrier barrier(env.machine(), cfg.nthreads);
+  WorkCursor phase1(env, nsegments, 32);
+  WorkCursor phase2(env, genome_len, 32);
+
+  app.parallel([&](htm::ThreadCtx& ctx, int) {
+    // Phase 1: deduplicate segments.
+    int64_t b = 0, e = 0;
+    while (phase1.claim(ctx, b, e)) {
+      for (int64_t i = b; i < e; ++i) {
+        ctx.opBoundary();
+        const int64_t key = seg_start[i];
+        ctx.work(180);  // hash the segment contents
+        app.lock().execute(ctx, [&] { unique_segments.insert(ctx, key, 1); });
+      }
+    }
+    barrier.arrive(ctx.simThread());
+    // Phase 2: overlap matching — for each position, probe for a segment
+    // whose prefix continues it and link them.
+    while (phase2.claim(ctx, b, e)) {
+      for (int64_t pos = b; pos < e; ++pos) {
+        ctx.opBoundary();
+        ctx.work(90);  // compare overlap contents
+        app.lock().execute(ctx, [&] {
+          const int64_t succ = (pos + 13) % genome_len;  // candidate overlap
+          if (unique_segments.contains(ctx, succ) &&
+              ctx.load(links[pos]) < 0) {
+            ctx.store(links[pos], succ);
+          }
+        });
+      }
+    }
+  });
+  return app.result();
+}
+
+}  // namespace natle::apps::stamp

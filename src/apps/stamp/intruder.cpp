@@ -1,0 +1,54 @@
+// STAMP intruder: network-intrusion detection. Threads pull packet
+// fragments from a shared work queue, insert them into a per-flow
+// reassembly map (transaction), and when a flow completes, remove it
+// (transaction) and run the detector on the reassembled payload (local
+// work). The shared queue head plus map updates make it conflict-heavy.
+#include "apps/stamp/common.hpp"
+#include "ds/hashmap.hpp"
+
+namespace natle::apps::stamp {
+
+StampResult runIntruder(const StampConfig& cfg) {
+  AppRun app(cfg);
+  auto& env = app.env();
+  const int64_t flows = static_cast<int64_t>(4096 * cfg.scale);
+  const int fragments_per_flow = 4;
+  const int64_t packets = flows * fragments_per_flow;
+
+  // The capture: fragment i belongs to flow shuffle(i) / fragments_per_flow.
+  std::vector<int64_t> packet_flow(packets);
+  {
+    for (int64_t i = 0; i < packets; ++i) {
+      packet_flow[i] = i / fragments_per_flow;
+    }
+    sim::Rng gen(cfg.seed ^ 0x17d3);
+    for (size_t i = packet_flow.size(); i > 1; --i) {
+      std::swap(packet_flow[i - 1], packet_flow[gen.below(i)]);
+    }
+  }
+  ds::HashMap reassembly(env, 1 << 13, false);
+  WorkCursor queue(env, packets, 8);  // small chunks: a hot queue head
+
+  app.parallel([&](htm::ThreadCtx& ctx, int) {
+    int64_t b = 0, e = 0;
+    while (queue.claim(ctx, b, e)) {
+      for (int64_t i = b; i < e; ++i) {
+        ctx.opBoundary();
+        const int64_t flow = packet_flow[i];
+        int64_t have = 0;
+        app.lock().execute(ctx, [&] {
+          have = reassembly.upsertAdd(ctx, flow, 1);
+        });
+        if (have == fragments_per_flow) {
+          app.lock().execute(ctx, [&] { reassembly.erase(ctx, flow); });
+          ctx.work(600);  // run the detector over the reassembled flow
+        } else {
+          ctx.work(80);
+        }
+      }
+    }
+  });
+  return app.result();
+}
+
+}  // namespace natle::apps::stamp

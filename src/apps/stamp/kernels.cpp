@@ -1,0 +1,20 @@
+#include "apps/stamp/stamp.hpp"
+
+namespace natle::apps::stamp {
+
+const std::vector<KernelEntry>& kernels() {
+  static const std::vector<KernelEntry> k = {
+      {"genome", runGenome},
+      {"intruder", runIntruder},
+      {"kmeans-high", runKmeansHigh},
+      {"kmeans-low", runKmeansLow},
+      {"labyrinth", runLabyrinth},
+      {"ssca2", runSsca2},
+      {"vacation-high", runVacationHigh},
+      {"vacation-low", runVacationLow},
+      {"yada", runYada},
+  };
+  return k;
+}
+
+}  // namespace natle::apps::stamp

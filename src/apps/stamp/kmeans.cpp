@@ -1,0 +1,107 @@
+// STAMP kmeans: iterative k-means clustering. Threads partition the points;
+// assignment reads the (iteration-stable) centers, and the transaction
+// accumulates the point into the new center sums — D+1 writes hitting one of
+// K accumulator rows. Contention is governed by K: the "high contention"
+// configuration uses few clusters (every transaction fights over the same
+// rows), "low contention" many.
+#include "apps/stamp/common.hpp"
+#include "sim/barrier.hpp"
+
+namespace natle::apps::stamp {
+
+namespace {
+
+constexpr int kDims = 4;
+
+StampResult runKmeans(const StampConfig& cfg, int clusters) {
+  AppRun app(cfg);
+  auto& env = app.env();
+  const int64_t npoints = static_cast<int64_t>(8192 * cfg.scale);
+  const int iterations = 4;
+
+  // Points: one line each (kDims int64 coordinates).
+  auto* points = static_cast<int64_t*>(
+      env.allocShared(static_cast<size_t>(npoints) * 8 * sizeof(int64_t)));
+  // Centers and accumulators: one line per cluster row.
+  auto* centers = static_cast<int64_t*>(
+      env.allocShared(static_cast<size_t>(clusters) * 8 * sizeof(int64_t)));
+  auto* acc = static_cast<int64_t*>(
+      env.allocShared(static_cast<size_t>(clusters) * 8 * sizeof(int64_t)));
+  auto* counts = static_cast<int64_t*>(
+      env.allocShared(static_cast<size_t>(clusters) * 8 * sizeof(int64_t)));
+  {
+    sim::Rng gen(cfg.seed ^ 0x5eed);
+    for (int64_t p = 0; p < npoints; ++p) {
+      for (int d = 0; d < kDims; ++d) {
+        points[p * 8 + d] = static_cast<int64_t>(gen.below(1000));
+      }
+    }
+    for (int c = 0; c < clusters; ++c) {
+      for (int d = 0; d < kDims; ++d) {
+        centers[c * 8 + d] = static_cast<int64_t>(gen.below(1000));
+        acc[c * 8 + d] = 0;
+      }
+      counts[c * 8] = 0;
+    }
+  }
+
+  sim::Barrier barrier(env.machine(), cfg.nthreads);
+  const int64_t per_thread = (npoints + cfg.nthreads - 1) / cfg.nthreads;
+  app.parallel([&](htm::ThreadCtx& ctx, int widx) {
+    const int64_t begin = widx * per_thread;
+    const int64_t end = std::min<int64_t>(npoints, begin + per_thread);
+    for (int it = 0; it < iterations; ++it) {
+      for (int64_t p = begin; p < end; ++p) {
+        ctx.opBoundary();
+        // Assignment: nearest center (plain reads; centers are stable).
+        int64_t coord[kDims];
+        for (int d = 0; d < kDims; ++d) coord[d] = ctx.load(points[p * 8 + d]);
+        int best = 0;
+        int64_t best_d2 = INT64_MAX;
+        for (int c = 0; c < clusters; ++c) {
+          int64_t d2 = 0;
+          for (int d = 0; d < kDims; ++d) {
+            const int64_t delta = coord[d] - ctx.load(centers[c * 8 + d]);
+            d2 += delta * delta;
+          }
+          if (d2 < best_d2) {
+            best_d2 = d2;
+            best = c;
+          }
+        }
+        // Transaction: fold the point into the new-center accumulators.
+        app.lock().execute(ctx, [&] {
+          for (int d = 0; d < kDims; ++d) {
+            ctx.store(acc[best * 8 + d],
+                      ctx.load(acc[best * 8 + d]) + coord[d]);
+          }
+          ctx.store(counts[best * 8], ctx.load(counts[best * 8]) + 1);
+        });
+        ctx.work(60);
+      }
+      barrier.arrive(ctx.simThread());
+      // One worker folds the accumulators into new centers.
+      if (widx == 0) {
+        for (int c = 0; c < clusters; ++c) {
+          const int64_t n = ctx.load(counts[c * 8]);
+          if (n > 0) {
+            for (int d = 0; d < kDims; ++d) {
+              ctx.store(centers[c * 8 + d], ctx.load(acc[c * 8 + d]) / n);
+              ctx.store(acc[c * 8 + d], int64_t{0});
+            }
+            ctx.store(counts[c * 8], int64_t{0});
+          }
+        }
+      }
+      barrier.arrive(ctx.simThread());
+    }
+  });
+  return app.result();
+}
+
+}  // namespace
+
+StampResult runKmeansLow(const StampConfig& cfg) { return runKmeans(cfg, 32); }
+StampResult runKmeansHigh(const StampConfig& cfg) { return runKmeans(cfg, 4); }
+
+}  // namespace natle::apps::stamp

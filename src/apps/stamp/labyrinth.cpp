@@ -1,0 +1,55 @@
+// STAMP labyrinth: Lee-style maze routing. Each transaction claims every
+// grid cell of a route between two random endpoints — by far the largest
+// read/write sets in STAMP, so transactions suffer capacity aborts and long
+// windows of contention, and many routes fall back to the lock.
+#include "apps/stamp/common.hpp"
+
+namespace natle::apps::stamp {
+
+StampResult runLabyrinth(const StampConfig& cfg) {
+  AppRun app(cfg);
+  auto& env = app.env();
+  const int64_t dim = 64;
+  const int64_t cells = dim * dim;
+  const int64_t routes = static_cast<int64_t>(1400 * cfg.scale);
+
+  auto* grid = static_cast<int64_t*>(
+      env.allocShared(static_cast<size_t>(cells) * sizeof(int64_t)));
+  for (int64_t i = 0; i < cells; ++i) grid[i] = 0;
+
+  WorkCursor work(env, routes, 4);
+
+  app.parallel([&](htm::ThreadCtx& ctx, int) {
+    auto& rng = ctx.rng();
+    int64_t b = 0, e = 0;
+    while (work.claim(ctx, b, e)) {
+      for (int64_t r = b; r < e; ++r) {
+        ctx.opBoundary();
+        const int64_t sx = static_cast<int64_t>(rng.below(dim));
+        const int64_t sy = static_cast<int64_t>(rng.below(dim));
+        const int64_t tx_ = static_cast<int64_t>(rng.below(dim));
+        const int64_t ty = static_cast<int64_t>(rng.below(dim));
+        ctx.work(900);  // expansion phase: compute the candidate route
+        app.lock().execute(ctx, [&] {
+          // L-shaped route: claim free cells along x then y. Occupied cells
+          // are skipped (a real router would re-plan; the footprint and
+          // write volume are what matter for the lock behaviour).
+          const int64_t stepx = tx_ >= sx ? 1 : -1;
+          for (int64_t x = sx; x != tx_; x += stepx) {
+            int64_t& cell = grid[ty * dim + x];
+            if (ctx.load(cell) == 0) ctx.store(cell, r + 1);
+          }
+          const int64_t stepy = ty >= sy ? 1 : -1;
+          for (int64_t y = sy; y != ty; y += stepy) {
+            int64_t& cell = grid[y * dim + sx];
+            if (ctx.load(cell) == 0) ctx.store(cell, r + 1);
+          }
+        });
+        ctx.work(250);
+      }
+    }
+  });
+  return app.result();
+}
+
+}  // namespace natle::apps::stamp

@@ -1,0 +1,80 @@
+// STAMP vacation: a travel-reservation system. Three relation tables
+// (flights, rooms, cars) and a customer table, all hash maps behind the one
+// elided lock. Each task queries q random items across the tables, reserves
+// the best one (decrement availability) and records it for the customer.
+// "High contention" uses a smaller relation count and longer queries, so
+// transactions overlap far more often.
+#include "apps/stamp/common.hpp"
+#include "ds/hashmap.hpp"
+
+namespace natle::apps::stamp {
+
+namespace {
+
+StampResult runVacation(const StampConfig& cfg, int64_t relations,
+                        int queries) {
+  AppRun app(cfg);
+  auto& env = app.env();
+  ds::HashMap flights(env, static_cast<size_t>(relations), false);
+  ds::HashMap rooms(env, static_cast<size_t>(relations), false);
+  ds::HashMap cars(env, static_cast<size_t>(relations), false);
+  ds::HashMap customers(env, 4096, false);
+  {
+    auto& sc = app.setup();
+    for (int64_t i = 0; i < relations; ++i) {
+      flights.insert(sc, i, 100);
+      rooms.insert(sc, i, 100);
+      cars.insert(sc, i, 100);
+    }
+  }
+  const int64_t tasks = static_cast<int64_t>(24000 * cfg.scale);
+  WorkCursor cursor(env, tasks, 16);
+
+  app.parallel([&](htm::ThreadCtx& ctx, int) {
+    auto& rng = ctx.rng();
+    int64_t b = 0, e = 0;
+    while (cursor.claim(ctx, b, e)) {
+      for (int64_t t = b; t < e; ++t) {
+        ctx.opBoundary();
+        ds::HashMap* tables[3] = {&flights, &rooms, &cars};
+        ds::HashMap& table = *tables[rng.below(3)];
+        const int64_t customer = static_cast<int64_t>(rng.below(4096));
+        // Pre-draw the query ids (the task definition, outside the tx).
+        int64_t ids[16];
+        for (int q = 0; q < queries; ++q) {
+          ids[q] = static_cast<int64_t>(rng.below(relations));
+        }
+        app.lock().execute(ctx, [&] {
+          // Query phase: find the queried item with the most availability.
+          int64_t best = -1;
+          int64_t best_avail = 0;
+          for (int q = 0; q < queries; ++q) {
+            int64_t avail = 0;
+            if (table.get(ctx, ids[q], avail) && avail > best_avail) {
+              best_avail = avail;
+              best = ids[q];
+            }
+          }
+          if (best >= 0) {
+            // Reserve: decrement availability, record for the customer.
+            table.upsertAdd(ctx, best, -1);
+            customers.upsertAdd(ctx, customer, 1);
+          }
+        });
+        ctx.work(120);
+      }
+    }
+  });
+  return app.result();
+}
+
+}  // namespace
+
+StampResult runVacationLow(const StampConfig& cfg) {
+  return runVacation(cfg, 16384, 2);
+}
+StampResult runVacationHigh(const StampConfig& cfg) {
+  return runVacation(cfg, 1024, 8);
+}
+
+}  // namespace natle::apps::stamp

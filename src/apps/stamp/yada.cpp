@@ -1,0 +1,61 @@
+// STAMP yada: Ruppert's Delaunay mesh refinement. Each transaction retriangulates
+// the cavity around a bad triangle: it reads a neighbourhood of mesh
+// entries, rewrites most of them, and pushes newly created bad triangles
+// onto the shared work counter — medium-large transactions with moderate
+// conflict locality.
+#include "apps/stamp/common.hpp"
+
+namespace natle::apps::stamp {
+
+StampResult runYada(const StampConfig& cfg) {
+  AppRun app(cfg);
+  auto& env = app.env();
+  const int64_t mesh_slots = static_cast<int64_t>(1 << 14);
+  const int64_t initial_bad = static_cast<int64_t>(6000 * cfg.scale);
+
+  // Mesh entries: one line per slot.
+  auto* mesh = static_cast<int64_t*>(env.allocShared(
+      static_cast<size_t>(mesh_slots) * 8 * sizeof(int64_t)));
+  for (int64_t i = 0; i < mesh_slots; ++i) mesh[i * 8] = i;
+  // Total refinement schedule: each retriangulation occasionally yields a
+  // new bad triangle. Computed up front from the seed so the amount of work
+  // is independent of thread interleaving.
+  int64_t total_work = initial_bad;
+  {
+    uint64_t h = cfg.seed ^ 0x11ada;
+    for (int64_t i = 0; i < total_work; ++i) {
+      h = h * 0x9e3779b97f4a7c15ULL + 1;
+      if ((h >> 33) % 100 < 12) ++total_work;
+    }
+  }
+  auto* claims = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *claims = 0;
+
+  app.parallel([&](htm::ThreadCtx& ctx, int) {
+    for (;;) {
+      ctx.opBoundary();
+      // Claim one bad triangle from the shared work counter.
+      const int64_t i = ctx.fetchAdd(*claims, int64_t{1});
+      if (i >= total_work) break;
+      // The cavity location derives from the claimed triangle, not the
+      // claiming thread, so the work set is schedule-independent.
+      uint64_t h = (static_cast<uint64_t>(i) + cfg.seed) *
+                   0x9e3779b97f4a7c15ULL;
+      const int64_t center = static_cast<int64_t>((h >> 17) %
+                                                  static_cast<uint64_t>(mesh_slots));
+      ctx.work(400);  // geometric tests for the cavity
+      app.lock().execute(ctx, [&] {
+        // Cavity: a pseudo-neighbourhood of 8 slots around `center`.
+        for (int j = 0; j < 8; ++j) {
+          const int64_t slot = (center + j * 37) % mesh_slots;
+          const int64_t v = ctx.load(mesh[slot * 8]);
+          if (j < 6) ctx.store(mesh[slot * 8], v + 1);
+        }
+      });
+      ctx.work(150);
+    }
+  });
+  return app.result();
+}
+
+}  // namespace natle::apps::stamp

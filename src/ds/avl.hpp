@@ -1,0 +1,264 @@
+// AVL tree (Adelson-Velsky & Landis 1962) — the paper's primary
+// microbenchmark structure. A single coarse lock (elided via TLE/NATLE)
+// protects every operation; the tree itself is sequential code whose shared
+// accesses go through the ThreadCtx.
+//
+// Heights are only written when they actually change, as in a careful
+// implementation: after warm-up most updates therefore touch just a few
+// lines near a leaf, while occasional rotations near the root conflict with
+// everything — exactly the conflict profile the paper describes.
+#pragma once
+
+#include <cstdint>
+
+#include "htm/env.hpp"
+
+namespace natle::ds {
+
+class AvlTree {
+ public:
+  struct Node {
+    int64_t key;
+    Node* left;
+    Node* right;
+    int64_t height;
+  };
+
+  explicit AvlTree(htm::Env& env) {
+    root_ = static_cast<Node**>(env.allocShared(sizeof(Node*)));
+    *root_ = nullptr;
+  }
+
+  bool contains(htm::ThreadCtx& c, int64_t k) const {
+    Node* n = c.load(*root_);
+    while (n != nullptr) {
+      const int64_t nk = c.load(n->key);
+      if (k == nk) return true;
+      n = k < nk ? c.load(n->left) : c.load(n->right);
+    }
+    return false;
+  }
+
+  bool insert(htm::ThreadCtx& c, int64_t k) {
+    bool inserted = false;
+    bool grew = false;
+    Node* r = c.load(*root_);
+    Node* nr = insertRec(c, r, k, inserted, grew);
+    if (nr != r) c.store(*root_, nr);
+    return inserted;
+  }
+
+  bool erase(htm::ThreadCtx& c, int64_t k) {
+    bool erased = false;
+    bool shrunk = false;
+    Node* r = c.load(*root_);
+    Node* nr = eraseRec(c, r, k, erased, shrunk);
+    if (nr != r) c.store(*root_, nr);
+    return erased;
+  }
+
+  // Figure 4's search-and-replace: walk toward `k` and rewrite the key field
+  // of the last node visited with the value it already holds. Semantically a
+  // no-op, but the store still acquires line ownership — the experiment that
+  // isolates coherence cost from synchronization cost.
+  void searchReplace(htm::ThreadCtx& c, int64_t k) {
+    Node* n = c.load(*root_);
+    Node* last = nullptr;
+    int64_t last_key = 0;
+    while (n != nullptr) {
+      last = n;
+      last_key = c.load(n->key);
+      if (k == last_key) break;
+      n = k < last_key ? c.load(n->left) : c.load(n->right);
+    }
+    if (last != nullptr) c.store(last->key, last_key);
+  }
+
+  size_t size(htm::ThreadCtx& c) const { return count(c, c.load(*root_)); }
+
+  // Raw (uninstrumented) root, for debug auditing when no transaction is in
+  // flight. Never use from simulated code.
+  Node* rawRoot() const { return *root_; }
+  Node* const& rawRootRef() const { return *root_; }
+
+  // Test support: checks BST order and the AVL balance invariant.
+  bool validate(htm::ThreadCtx& c) const {
+    bool ok = true;
+    check(c, c.load(*root_), INT64_MIN, INT64_MAX, ok);
+    return ok;
+  }
+
+ private:
+  Node* newNode(htm::ThreadCtx& c, int64_t k) {
+    Node* n = static_cast<Node*>(c.alloc(sizeof(Node)));
+    c.store(n->key, k);
+    c.store(n->left, static_cast<Node*>(nullptr));
+    c.store(n->right, static_cast<Node*>(nullptr));
+    c.store(n->height, int64_t{1});
+    return n;
+  }
+
+  int64_t heightOf(htm::ThreadCtx& c, Node* n) const {
+    return n == nullptr ? 0 : c.load(n->height);
+  }
+
+  void updateHeight(htm::ThreadCtx& c, Node* n) {
+    const int64_t hl = heightOf(c, c.load(n->left));
+    const int64_t hr = heightOf(c, c.load(n->right));
+    const int64_t h = (hl > hr ? hl : hr) + 1;
+    if (c.load(n->height) != h) c.store(n->height, h);
+  }
+
+  Node* rotateRight(htm::ThreadCtx& c, Node* y) {
+    Node* x = c.load(y->left);
+    Node* t2 = c.load(x->right);
+    c.store(x->right, y);
+    c.store(y->left, t2);
+    updateHeight(c, y);
+    updateHeight(c, x);
+    return x;
+  }
+
+  Node* rotateLeft(htm::ThreadCtx& c, Node* x) {
+    Node* y = c.load(x->right);
+    Node* t2 = c.load(y->left);
+    c.store(y->left, x);
+    c.store(x->right, t2);
+    updateHeight(c, x);
+    updateHeight(c, y);
+    return y;
+  }
+
+  Node* rebalance(htm::ThreadCtx& c, Node* n) {
+    updateHeight(c, n);
+    const int64_t bal =
+        heightOf(c, c.load(n->left)) - heightOf(c, c.load(n->right));
+    if (bal > 1) {
+      Node* l = c.load(n->left);
+      if (heightOf(c, c.load(l->left)) < heightOf(c, c.load(l->right))) {
+        c.store(n->left, rotateLeft(c, l));
+      }
+      return rotateRight(c, n);
+    }
+    if (bal < -1) {
+      Node* r = c.load(n->right);
+      if (heightOf(c, c.load(r->right)) < heightOf(c, c.load(r->left))) {
+        c.store(n->right, rotateRight(c, r));
+      }
+      return rotateLeft(c, n);
+    }
+    return n;
+  }
+
+  // Insert with height-change propagation: once a child subtree's height is
+  // unchanged, no ancestor needs to read its sibling or write anything — the
+  // classic implementation whose updates "modify only a few nodes at the
+  // bottom of the tree" (the paper's premise). `grew` reports whether the
+  // height of the subtree rooted here increased.
+  Node* insertRec(htm::ThreadCtx& c, Node* n, int64_t k, bool& inserted,
+                  bool& grew) {
+    if (n == nullptr) {
+      inserted = true;
+      grew = true;
+      return newNode(c, k);
+    }
+    const int64_t nk = c.load(n->key);
+    if (k == nk) {
+      inserted = false;
+      grew = false;
+      return n;
+    }
+    bool child_grew = false;
+    if (k < nk) {
+      Node* l = c.load(n->left);
+      Node* nl = insertRec(c, l, k, inserted, child_grew);
+      if (nl != l) c.store(n->left, nl);
+    } else {
+      Node* r = c.load(n->right);
+      Node* nr = insertRec(c, r, k, inserted, child_grew);
+      if (nr != r) c.store(n->right, nr);
+    }
+    if (!child_grew) {
+      grew = false;
+      return n;
+    }
+    const int64_t old_h = c.load(n->height);
+    Node* nn = rebalance(c, n);
+    grew = c.load(nn->height) > old_h;
+    return nn;
+  }
+
+  Node* eraseRec(htm::ThreadCtx& c, Node* n, int64_t k, bool& erased,
+                 bool& shrunk) {
+    if (n == nullptr) {
+      erased = false;
+      shrunk = false;
+      return nullptr;
+    }
+    const int64_t nk = c.load(n->key);
+    bool child_shrunk = false;
+    if (k < nk) {
+      Node* l = c.load(n->left);
+      Node* nl = eraseRec(c, l, k, erased, child_shrunk);
+      if (nl != l) c.store(n->left, nl);
+    } else if (k > nk) {
+      Node* r = c.load(n->right);
+      Node* nr = eraseRec(c, r, k, erased, child_shrunk);
+      if (nr != r) c.store(n->right, nr);
+    } else {
+      erased = true;
+      Node* l = c.load(n->left);
+      Node* r = c.load(n->right);
+      if (l == nullptr || r == nullptr) {
+        Node* child = l != nullptr ? l : r;
+        c.free(n);
+        shrunk = true;
+        return child;
+      }
+      // Two children: pull up the in-order successor's key, then remove the
+      // successor node from the right subtree.
+      Node* s = r;
+      Node* sl = c.load(s->left);
+      while (sl != nullptr) {
+        s = sl;
+        sl = c.load(s->left);
+      }
+      const int64_t sk = c.load(s->key);
+      c.store(n->key, sk);
+      bool e2 = false;
+      Node* nr = eraseRec(c, r, sk, e2, child_shrunk);
+      if (nr != r) c.store(n->right, nr);
+    }
+    if (!erased || !child_shrunk) {
+      shrunk = false;
+      return n;
+    }
+    const int64_t old_h = c.load(n->height);
+    Node* nn = rebalance(c, n);
+    shrunk = c.load(nn->height) < old_h;
+    return nn;
+  }
+
+  size_t count(htm::ThreadCtx& c, Node* n) const {
+    if (n == nullptr) return 0;
+    return 1 + count(c, c.load(n->left)) + count(c, c.load(n->right));
+  }
+
+  int64_t check(htm::ThreadCtx& c, Node* n, int64_t lo, int64_t hi,
+                bool& ok) const {
+    if (n == nullptr) return 0;
+    const int64_t k = c.load(n->key);
+    if (k <= lo || k >= hi) ok = false;
+    const int64_t hl = check(c, c.load(n->left), lo, k, ok);
+    const int64_t hr = check(c, c.load(n->right), k, hi, ok);
+    const int64_t bal = hl - hr;
+    if (bal < -1 || bal > 1) ok = false;
+    const int64_t h = (hl > hr ? hl : hr) + 1;
+    if (h != c.load(n->height)) ok = false;
+    return h;
+  }
+
+  Node** root_;
+};
+
+}  // namespace natle::ds

@@ -1,0 +1,144 @@
+// Unbalanced internal binary search tree (keys in every node, no
+// rebalancing). Complements the leaf-oriented BST: deletions of two-child
+// nodes overwrite a key higher up the tree, giving it a conflict profile
+// between the AVL tree and the external BST.
+#pragma once
+
+#include <cstdint>
+
+#include "htm/env.hpp"
+
+namespace natle::ds {
+
+class InternalBst {
+ public:
+  struct Node {
+    int64_t key;
+    Node* left;
+    Node* right;
+  };
+
+  explicit InternalBst(htm::Env& env) {
+    root_ = static_cast<Node**>(env.allocShared(sizeof(Node*)));
+    *root_ = nullptr;
+  }
+
+  bool contains(htm::ThreadCtx& c, int64_t k) const {
+    Node* n = c.load(*root_);
+    while (n != nullptr) {
+      const int64_t nk = c.load(n->key);
+      if (k == nk) return true;
+      n = k < nk ? c.load(n->left) : c.load(n->right);
+    }
+    return false;
+  }
+
+  bool insert(htm::ThreadCtx& c, int64_t k) {
+    Node* n = c.load(*root_);
+    if (n == nullptr) {
+      c.store(*root_, newNode(c, k));
+      return true;
+    }
+    for (;;) {
+      const int64_t nk = c.load(n->key);
+      if (k == nk) return false;
+      if (k < nk) {
+        Node* l = c.load(n->left);
+        if (l == nullptr) {
+          c.store(n->left, newNode(c, k));
+          return true;
+        }
+        n = l;
+      } else {
+        Node* r = c.load(n->right);
+        if (r == nullptr) {
+          c.store(n->right, newNode(c, k));
+          return true;
+        }
+        n = r;
+      }
+    }
+  }
+
+  bool erase(htm::ThreadCtx& c, int64_t k) {
+    Node* parent = nullptr;
+    bool from_left = false;
+    Node* n = c.load(*root_);
+    while (n != nullptr) {
+      const int64_t nk = c.load(n->key);
+      if (k == nk) break;
+      parent = n;
+      from_left = k < nk;
+      n = from_left ? c.load(n->left) : c.load(n->right);
+    }
+    if (n == nullptr) return false;
+    Node* l = c.load(n->left);
+    Node* r = c.load(n->right);
+    if (l != nullptr && r != nullptr) {
+      // Two children: overwrite with in-order successor's key, then unlink
+      // the successor (which has no left child).
+      Node* sp = n;
+      Node* s = r;
+      Node* sl = c.load(s->left);
+      while (sl != nullptr) {
+        sp = s;
+        s = sl;
+        sl = c.load(s->left);
+      }
+      c.store(n->key, c.load(s->key));
+      Node* sr = c.load(s->right);
+      if (sp == n) {
+        c.store(sp->right, sr);
+      } else {
+        c.store(sp->left, sr);
+      }
+      c.free(s);
+      return true;
+    }
+    Node* child = l != nullptr ? l : r;
+    if (parent == nullptr) {
+      c.store(*root_, child);
+    } else if (from_left) {
+      c.store(parent->left, child);
+    } else {
+      c.store(parent->right, child);
+    }
+    c.free(n);
+    return true;
+  }
+
+  size_t size(htm::ThreadCtx& c) const { return count(c, c.load(*root_)); }
+
+  bool validate(htm::ThreadCtx& c) const {
+    bool ok = true;
+    check(c, c.load(*root_), INT64_MIN, INT64_MAX, ok);
+    return ok;
+  }
+
+ private:
+  Node* newNode(htm::ThreadCtx& c, int64_t k) {
+    Node* n = static_cast<Node*>(c.alloc(sizeof(Node)));
+    c.store(n->key, k);
+    c.store(n->left, static_cast<Node*>(nullptr));
+    c.store(n->right, static_cast<Node*>(nullptr));
+    return n;
+  }
+
+  size_t count(htm::ThreadCtx& c, Node* n) const {
+    if (n == nullptr) return 0;
+    return 1 + count(c, c.load(n->left)) + count(c, c.load(n->right));
+  }
+
+  void check(htm::ThreadCtx& c, Node* n, int64_t lo, int64_t hi,
+             bool& ok) const {
+    if (n == nullptr) return;
+    const int64_t k = c.load(n->key);
+    if (k <= lo || k >= hi) ok = false;
+    check(c, c.load(n->left), lo, k, ok);
+    check(c, c.load(n->right), k, hi, ok);
+  }
+
+  Node** root_;
+};
+
+}  // namespace natle::ds

@@ -1,0 +1,159 @@
+// Unbalanced leaf-oriented (external) binary search tree.
+//
+// Keys live only in leaves; internal nodes are routers. Inserts replace a
+// leaf with a router over two leaves; deletes splice the leaf's parent out.
+// Updates therefore modify only nodes at the very bottom of the tree, so the
+// tree's upper levels stay cached on every socket — the structural property
+// behind the paper's Figure 7 ("NUMA effects will be less significant for
+// unbalanced leaf-oriented trees").
+#pragma once
+
+#include <cstdint>
+
+#include "htm/env.hpp"
+
+namespace natle::ds {
+
+class LeafBst {
+ public:
+  struct Node {
+    int64_t key;
+    Node* left;   // nullptr in leaves
+    Node* right;  // nullptr in leaves
+  };
+
+  explicit LeafBst(htm::Env& env) {
+    root_ = static_cast<Node**>(env.allocShared(sizeof(Node*)));
+    *root_ = nullptr;
+  }
+
+  bool contains(htm::ThreadCtx& c, int64_t k) const {
+    Node* n = c.load(*root_);
+    if (n == nullptr) return false;
+    Node* l = c.load(n->left);
+    while (l != nullptr) {  // descend while internal
+      n = k < c.load(n->key) ? l : c.load(n->right);
+      l = c.load(n->left);
+    }
+    return c.load(n->key) == k;
+  }
+
+  bool insert(htm::ThreadCtx& c, int64_t k) {
+    Node* n = c.load(*root_);
+    if (n == nullptr) {
+      c.store(*root_, newLeaf(c, k));
+      return true;
+    }
+    Node* parent = nullptr;
+    bool went_left = false;
+    Node* l = c.load(n->left);
+    while (l != nullptr) {
+      parent = n;
+      went_left = k < c.load(n->key);
+      n = went_left ? l : c.load(n->right);
+      l = c.load(n->left);
+    }
+    const int64_t leaf_key = c.load(n->key);
+    if (leaf_key == k) return false;
+    // Replace leaf n with router(two leaves). Router key = larger of the two,
+    // routing strictly-less keys left.
+    Node* nl = newLeaf(c, k);
+    Node* router = static_cast<Node*>(c.alloc(sizeof(Node)));
+    if (k < leaf_key) {
+      c.store(router->key, leaf_key);
+      c.store(router->left, nl);
+      c.store(router->right, n);
+    } else {
+      c.store(router->key, k);
+      c.store(router->left, n);
+      c.store(router->right, nl);
+    }
+    if (parent == nullptr) {
+      c.store(*root_, router);
+    } else if (went_left) {
+      c.store(parent->left, router);
+    } else {
+      c.store(parent->right, router);
+    }
+    return true;
+  }
+
+  bool erase(htm::ThreadCtx& c, int64_t k) {
+    Node* n = c.load(*root_);
+    if (n == nullptr) return false;
+    Node* grand = nullptr;
+    bool grand_left = false;
+    Node* parent = nullptr;
+    bool parent_left = false;
+    Node* l = c.load(n->left);
+    while (l != nullptr) {
+      grand = parent;
+      grand_left = parent_left;
+      parent = n;
+      parent_left = k < c.load(n->key);
+      n = parent_left ? l : c.load(n->right);
+      l = c.load(n->left);
+    }
+    if (c.load(n->key) != k) return false;
+    if (parent == nullptr) {
+      c.store(*root_, static_cast<Node*>(nullptr));
+    } else {
+      Node* sibling =
+          parent_left ? c.load(parent->right) : c.load(parent->left);
+      if (grand == nullptr) {
+        c.store(*root_, sibling);
+      } else if (grand_left) {
+        c.store(grand->left, sibling);
+      } else {
+        c.store(grand->right, sibling);
+      }
+      c.free(parent);
+    }
+    c.free(n);
+    return true;
+  }
+
+  size_t size(htm::ThreadCtx& c) const { return countLeaves(c, c.load(*root_)); }
+
+  // Test support: every leaf reachable obeys routing; returns validity.
+  bool validate(htm::ThreadCtx& c) const {
+    bool ok = true;
+    check(c, c.load(*root_), INT64_MIN, INT64_MAX, ok);
+    return ok;
+  }
+
+ private:
+  Node* newLeaf(htm::ThreadCtx& c, int64_t k) {
+    Node* n = static_cast<Node*>(c.alloc(sizeof(Node)));
+    c.store(n->key, k);
+    c.store(n->left, static_cast<Node*>(nullptr));
+    c.store(n->right, static_cast<Node*>(nullptr));
+    return n;
+  }
+
+  size_t countLeaves(htm::ThreadCtx& c, Node* n) const {
+    if (n == nullptr) return 0;
+    Node* l = c.load(n->left);
+    if (l == nullptr) return 1;
+    return countLeaves(c, l) + countLeaves(c, c.load(n->right));
+  }
+
+  void check(htm::ThreadCtx& c, Node* n, int64_t lo, int64_t hi,
+             bool& ok) const {
+    if (n == nullptr) return;
+    const int64_t k = c.load(n->key);
+    Node* l = c.load(n->left);
+    if (l == nullptr) {
+      if (k < lo || k >= hi) ok = false;  // leaves: lo <= key < hi
+      return;
+    }
+    // Router: left subtree keys < k, right subtree keys >= k... our routers
+    // hold the max of the split point, routing strictly-less left.
+    check(c, l, lo, k, ok);
+    check(c, c.load(n->right), k, hi, ok);
+  }
+
+  Node** root_;
+};
+
+}  // namespace natle::ds

@@ -1,0 +1,105 @@
+// Array-based binary min-heap — the lock-protected heap at the center of
+// paraheap-k (Jenne et al., "Studying the Milky Way galaxy using
+// paraheap-k"): worker threads push (distance, point) pairs and the
+// consumers pop minima.
+#pragma once
+
+#include <cstdint>
+
+#include "htm/env.hpp"
+
+namespace natle::ds {
+
+class DHeap {
+ public:
+  DHeap(htm::Env& env, size_t capacity) : capacity_(capacity) {
+    slots_ = static_cast<int64_t*>(
+        env.allocShared(capacity * 2 * sizeof(int64_t)));
+    count_ = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+    *count_ = 0;
+  }
+
+  bool push(htm::ThreadCtx& c, int64_t prio, int64_t payload) {
+    int64_t n = c.load(*count_);
+    if (n >= static_cast<int64_t>(capacity_)) return false;
+    setPrio(c, n, prio);
+    setPayload(c, n, payload);
+    c.store(*count_, n + 1);
+    // Sift up.
+    int64_t i = n;
+    while (i > 0) {
+      const int64_t parent = (i - 1) / 2;
+      if (getPrio(c, parent) <= getPrio(c, i)) break;
+      swap(c, parent, i);
+      i = parent;
+    }
+    return true;
+  }
+
+  // Pops the minimum; returns false when empty.
+  bool pop(htm::ThreadCtx& c, int64_t& prio, int64_t& payload) {
+    int64_t n = c.load(*count_);
+    if (n == 0) return false;
+    prio = getPrio(c, 0);
+    payload = getPayload(c, 0);
+    --n;
+    if (n > 0) {
+      setPrio(c, 0, getPrio(c, n));
+      setPayload(c, 0, getPayload(c, n));
+    }
+    c.store(*count_, n);
+    // Sift down.
+    int64_t i = 0;
+    for (;;) {
+      const int64_t l = 2 * i + 1;
+      const int64_t r = 2 * i + 2;
+      int64_t m = i;
+      if (l < n && getPrio(c, l) < getPrio(c, m)) m = l;
+      if (r < n && getPrio(c, r) < getPrio(c, m)) m = r;
+      if (m == i) break;
+      swap(c, m, i);
+      i = m;
+    }
+    return true;
+  }
+
+  int64_t size(htm::ThreadCtx& c) const { return c.load(*count_); }
+  size_t capacity() const { return capacity_; }
+
+  // Test support: parent <= children for all nodes.
+  bool validate(htm::ThreadCtx& c) const {
+    const int64_t n = c.load(*count_);
+    for (int64_t i = 1; i < n; ++i) {
+      if (getPrio(c, (i - 1) / 2) > getPrio(c, i)) return false;
+    }
+    return true;
+  }
+
+ private:
+  int64_t getPrio(htm::ThreadCtx& c, int64_t i) const {
+    return c.load(slots_[2 * i]);
+  }
+  int64_t getPayload(htm::ThreadCtx& c, int64_t i) const {
+    return c.load(slots_[2 * i + 1]);
+  }
+  void setPrio(htm::ThreadCtx& c, int64_t i, int64_t v) {
+    c.store(slots_[2 * i], v);
+  }
+  void setPayload(htm::ThreadCtx& c, int64_t i, int64_t v) {
+    c.store(slots_[2 * i + 1], v);
+  }
+  void swap(htm::ThreadCtx& c, int64_t i, int64_t j) {
+    const int64_t pi = getPrio(c, i);
+    const int64_t vi = getPayload(c, i);
+    setPrio(c, i, getPrio(c, j));
+    setPayload(c, i, getPayload(c, j));
+    setPrio(c, j, pi);
+    setPayload(c, j, vi);
+  }
+
+  size_t capacity_;
+  int64_t* slots_;
+  int64_t* count_;
+};
+
+}  // namespace natle::ds

@@ -1,0 +1,136 @@
+// Separate-chaining hash map, the synchronization skeleton of ccTSA (one
+// lock-protected map) and a building block of the STAMP kernels (vacation's
+// reservation tables, genome's segment table, intruder's flow map).
+#pragma once
+
+#include <cstdint>
+
+#include "htm/env.hpp"
+
+namespace natle::ds {
+
+class HashMap {
+ public:
+  struct Node {
+    int64_t key;
+    int64_t value;
+    Node* next;
+  };
+
+  // track_size=false avoids a shared size counter that would otherwise make
+  // every mutating transaction conflict on one line (used by kernels whose
+  // real counterpart keeps no global count).
+  HashMap(htm::Env& env, size_t buckets, bool track_size = true)
+      : nbuckets_(roundPow2(buckets)), track_size_(track_size) {
+    buckets_ = static_cast<Node**>(
+        env.allocShared(nbuckets_ * sizeof(Node*)));
+    for (size_t i = 0; i < nbuckets_; ++i) buckets_[i] = nullptr;
+    size_ = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+    *size_ = 0;
+  }
+
+  bool contains(htm::ThreadCtx& c, int64_t k) const {
+    Node* n = c.load(buckets_[slot(k)]);
+    while (n != nullptr) {
+      if (c.load(n->key) == k) return true;
+      n = c.load(n->next);
+    }
+    return false;
+  }
+
+  // Returns true and fills out if present.
+  bool get(htm::ThreadCtx& c, int64_t k, int64_t& out) const {
+    Node* n = c.load(buckets_[slot(k)]);
+    while (n != nullptr) {
+      if (c.load(n->key) == k) {
+        out = c.load(n->value);
+        return true;
+      }
+      n = c.load(n->next);
+    }
+    return false;
+  }
+
+  // Insert k->v if absent; returns true if inserted.
+  bool insert(htm::ThreadCtx& c, int64_t k, int64_t v) {
+    Node*& head = buckets_[slot(k)];
+    Node* n = c.load(head);
+    while (n != nullptr) {
+      if (c.load(n->key) == k) return false;
+      n = c.load(n->next);
+    }
+    Node* nn = static_cast<Node*>(c.alloc(sizeof(Node)));
+    c.store(nn->key, k);
+    c.store(nn->value, v);
+    c.store(nn->next, c.load(head));
+    c.store(head, nn);
+    if (track_size_) c.store(*size_, c.load(*size_) + 1);
+    return true;
+  }
+
+  // Insert k->v or add v to the existing value; returns the new value.
+  // (ccTSA-style accumulate: count k-mer occurrences.)
+  int64_t upsertAdd(htm::ThreadCtx& c, int64_t k, int64_t v) {
+    Node*& head = buckets_[slot(k)];
+    Node* n = c.load(head);
+    while (n != nullptr) {
+      if (c.load(n->key) == k) {
+        const int64_t nv = c.load(n->value) + v;
+        c.store(n->value, nv);
+        return nv;
+      }
+      n = c.load(n->next);
+    }
+    Node* nn = static_cast<Node*>(c.alloc(sizeof(Node)));
+    c.store(nn->key, k);
+    c.store(nn->value, v);
+    c.store(nn->next, c.load(head));
+    c.store(head, nn);
+    if (track_size_) c.store(*size_, c.load(*size_) + 1);
+    return v;
+  }
+
+  bool erase(htm::ThreadCtx& c, int64_t k) {
+    Node*& head = buckets_[slot(k)];
+    Node* prev = nullptr;
+    Node* n = c.load(head);
+    while (n != nullptr) {
+      if (c.load(n->key) == k) {
+        Node* nx = c.load(n->next);
+        if (prev == nullptr) {
+          c.store(head, nx);
+        } else {
+          c.store(prev->next, nx);
+        }
+        c.free(n);
+        if (track_size_) c.store(*size_, c.load(*size_) - 1);
+        return true;
+      }
+      prev = n;
+      n = c.load(n->next);
+    }
+    return false;
+  }
+
+  int64_t size(htm::ThreadCtx& c) const { return c.load(*size_); }
+  size_t bucketCount() const { return nbuckets_; }
+
+ private:
+  static size_t roundPow2(size_t x) {
+    size_t p = 1;
+    while (p < x) p <<= 1;
+    return p;
+  }
+
+  size_t slot(int64_t k) const {
+    uint64_t h = static_cast<uint64_t>(k) * 0x9e3779b97f4a7c15ULL;
+    return (h >> 17) & (nbuckets_ - 1);
+  }
+
+  size_t nbuckets_;
+  bool track_size_;
+  Node** buckets_;
+  int64_t* size_;
+};
+
+}  // namespace natle::ds

@@ -1,0 +1,136 @@
+// Skip list set (Pugh 1990) with geometric tower heights — the third
+// microbenchmark structure in the paper's Section 5.1. Like the AVL tree it
+// has hot upper levels that updates occasionally modify, so its TLE behavior
+// resembles the AVL tree's (Figure 13, right).
+#pragma once
+
+#include <cstdint>
+
+#include "htm/env.hpp"
+
+namespace natle::ds {
+
+class SkipList {
+ public:
+  static constexpr int kMaxLevel = 16;
+
+  struct Node {
+    int64_t key;
+    int64_t top_level;     // levels [0, top_level] are linked
+    Node* next[kMaxLevel];
+  };
+
+  explicit SkipList(htm::Env& env) {
+    head_ = static_cast<Node*>(env.allocShared(sizeof(Node)));
+    head_->key = INT64_MIN;
+    head_->top_level = kMaxLevel - 1;
+    for (auto& n : head_->next) n = nullptr;
+  }
+
+  bool contains(htm::ThreadCtx& c, int64_t k) const {
+    Node* pred = head_;
+    for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+      Node* cur = c.load(pred->next[lvl]);
+      while (cur != nullptr && c.load(cur->key) < k) {
+        pred = cur;
+        cur = c.load(pred->next[lvl]);
+      }
+      if (cur != nullptr && c.load(cur->key) == k) return true;
+    }
+    return false;
+  }
+
+  bool insert(htm::ThreadCtx& c, int64_t k) {
+    Node* preds[kMaxLevel];
+    Node* pred = head_;
+    Node* found = nullptr;
+    for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+      Node* cur = c.load(pred->next[lvl]);
+      while (cur != nullptr && c.load(cur->key) < k) {
+        pred = cur;
+        cur = c.load(pred->next[lvl]);
+      }
+      if (cur != nullptr && c.load(cur->key) == k) found = cur;
+      preds[lvl] = pred;
+    }
+    if (found != nullptr) return false;
+    const int level = randomLevel(c);
+    Node* n = static_cast<Node*>(c.alloc(sizeof(Node)));
+    c.store(n->key, k);
+    c.store(n->top_level, static_cast<int64_t>(level));
+    for (int lvl = 0; lvl <= level; ++lvl) {
+      c.store(n->next[lvl], c.load(preds[lvl]->next[lvl]));
+      c.store(preds[lvl]->next[lvl], n);
+    }
+    return true;
+  }
+
+  bool erase(htm::ThreadCtx& c, int64_t k) {
+    Node* preds[kMaxLevel];
+    Node* pred = head_;
+    Node* victim = nullptr;
+    for (int lvl = kMaxLevel - 1; lvl >= 0; --lvl) {
+      Node* cur = c.load(pred->next[lvl]);
+      while (cur != nullptr && c.load(cur->key) < k) {
+        pred = cur;
+        cur = c.load(pred->next[lvl]);
+      }
+      if (cur != nullptr && c.load(cur->key) == k) victim = cur;
+      preds[lvl] = pred;
+    }
+    if (victim == nullptr) return false;
+    const int level = static_cast<int>(c.load(victim->top_level));
+    for (int lvl = 0; lvl <= level; ++lvl) {
+      if (c.load(preds[lvl]->next[lvl]) == victim) {
+        c.store(preds[lvl]->next[lvl], c.load(victim->next[lvl]));
+      }
+    }
+    c.free(victim);
+    return true;
+  }
+
+  size_t size(htm::ThreadCtx& c) const {
+    size_t n = 0;
+    Node* cur = c.load(head_->next[0]);
+    while (cur != nullptr) {
+      ++n;
+      cur = c.load(cur->next[0]);
+    }
+    return n;
+  }
+
+  // Test support: bottom level sorted; every tower member linked at all its
+  // levels consistently.
+  bool validate(htm::ThreadCtx& c) const {
+    int64_t prev = INT64_MIN;
+    Node* cur = c.load(head_->next[0]);
+    while (cur != nullptr) {
+      const int64_t k = c.load(cur->key);
+      if (k <= prev) return false;
+      prev = k;
+      cur = c.load(cur->next[0]);
+    }
+    for (int lvl = 1; lvl < kMaxLevel; ++lvl) {
+      int64_t p = INT64_MIN;
+      Node* x = c.load(head_->next[lvl]);
+      while (x != nullptr) {
+        const int64_t k = c.load(x->key);
+        if (k <= p || c.load(x->top_level) < lvl) return false;
+        p = k;
+        x = c.load(x->next[lvl]);
+      }
+    }
+    return true;
+  }
+
+ private:
+  int randomLevel(htm::ThreadCtx& c) {
+    int level = 0;
+    while (level < kMaxLevel - 1 && (c.rng().next() & 1) != 0) ++level;
+    return level;
+  }
+
+  Node* head_;
+};
+
+}  // namespace natle::ds

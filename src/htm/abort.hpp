@@ -1,0 +1,46 @@
+// Abort classification, mirroring the information the Intel TSX/RTM
+// interface reports: a cause (condition code) plus a "may retry" hint bit.
+// Per the ISA and the paper: conflict aborts set the hint; capacity-style
+// aborts clear it. The paper's key Fig. 2 observation is that a clear hint
+// does NOT imply retrying is futile — our capacity mechanism (shared-L1
+// eviction by the hyperthread sibling) makes that emerge naturally.
+#pragma once
+
+#include <cstdint>
+
+namespace natle::htm {
+
+enum class AbortReason : uint8_t {
+  kNone = 0,
+  kConflict,   // another thread touched a line in our read/write set
+  kCapacity,   // a transactional line was evicted from the core's L1
+  kExplicit,   // ctx.txAbort(code): used by TLE's lock-held subscription abort
+  kSpurious,   // interrupt / ring transition hazard
+  kCount_,
+};
+
+constexpr int kAbortReasonCount = static_cast<int>(AbortReason::kCount_);
+
+const char* toString(AbortReason r);
+
+// Status returned by ThreadCtx::txBegin(), RTM-style.
+constexpr unsigned kTxStarted = ~0u;
+
+struct AbortStatus {
+  AbortReason reason = AbortReason::kNone;
+  bool may_retry = false;   // the hardware hint bit
+  uint8_t xabort_code = 0;  // payload of an explicit abort
+};
+
+inline const char* toString(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone: return "none";
+    case AbortReason::kConflict: return "conflict";
+    case AbortReason::kCapacity: return "capacity";
+    case AbortReason::kExplicit: return "explicit";
+    case AbortReason::kSpurious: return "spurious";
+    default: return "?";
+  }
+}
+
+}  // namespace natle::htm

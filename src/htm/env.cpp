@@ -1,0 +1,515 @@
+#include "htm/env.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace natle::htm {
+
+namespace {
+constexpr unsigned kReasonMask = 0x7;
+constexpr unsigned kRetryBit = 0x8;
+}  // namespace
+
+unsigned ThreadCtx::encodeStatus(const AbortStatus& a) {
+  return (static_cast<unsigned>(a.reason) & kReasonMask) |
+         (a.may_retry ? kRetryBit : 0) |
+         (static_cast<unsigned>(a.xabort_code) << 8);
+}
+
+AbortStatus decodeStatus(unsigned status) {
+  AbortStatus a;
+  a.reason = static_cast<AbortReason>(status & kReasonMask);
+  a.may_retry = (status & kRetryBit) != 0;
+  a.xabort_code = static_cast<uint8_t>(status >> 8);
+  return a;
+}
+
+ThreadCtx::ThreadCtx(Env& env, sim::SimThread* st) : env_(env), st_(st) {
+  env_.stats_.emplace_back();
+  stats_ = &env_.stats_.back();
+  l1_ = &env_.l1s_[st_->slot.core_global];
+  txn_.owner = this;
+}
+
+bool ThreadCtx::setupMode() const { return !env_.machine_.running(); }
+
+uint64_t ThreadCtx::nowCycles() const { return st_->clock; }
+
+uint64_t ThreadCtx::nowNs() const {
+  return static_cast<uint64_t>(static_cast<double>(st_->clock) / env_.cfg().ghz);
+}
+
+void ThreadCtx::chargeMem(uint64_t cycles) { env_.machine_.charge(*st_, cycles); }
+
+void ThreadCtx::work(uint64_t cycles) {
+  if (setupMode()) return;
+  checkPendingAbort();
+  env_.machine_.chargeWork(*st_, cycles);
+  if (txn_.in_flight) spuriousHazard();
+  env_.machine_.maybeYield(*st_);
+}
+
+void ThreadCtx::checkPendingAbort() {
+  if (txn_.pending_abort) {
+    txn_.pending_abort = false;
+    chargeMem(env_.cfg().tx_abort_cost);
+    std::longjmp(txn_.jb, 1);
+  }
+}
+
+void ThreadCtx::spuriousHazard() {
+  const uint64_t elapsed = st_->clock - txn_.last_hazard_clock;
+  if (elapsed == 0) return;
+  txn_.last_hazard_clock = st_->clock;
+  const double p =
+      static_cast<double>(elapsed) * env_.cfg().spurious_abort_per_cycle;
+  if (p > 0 && st_->rng.chance(p)) {
+    selfAbort(AbortReason::kSpurious, false, 0);
+  }
+}
+
+void ThreadCtx::selfAbort(AbortReason r, bool may_retry, uint8_t code) {
+  env_.abortTxn(txn_, r, may_retry, code);
+  txn_.pending_abort = false;
+  chargeMem(env_.cfg().tx_abort_cost);
+  std::longjmp(txn_.jb, 1);
+}
+
+void ThreadCtx::registerRead(uint64_t line, mem::LineState& s) {
+  if (s.tx_writer == &txn_) return;  // our own write set covers it
+  if (txn_.inReadSet(line)) return;
+  txn_.read_lines.push_back(line);
+  txn_.read_bloom |= Txn::bloomBit(line);
+  s.tx_readers.push_back(&txn_);
+}
+
+void ThreadCtx::accessRead(const void* addr) {
+  if (setupMode()) return;
+  assert(&env_.machine_.current() == st_);
+  checkPendingAbort();
+  if (env_.debug_trace_tid == tid()) {
+    uint64_t v; std::memcpy(&v, addr, 8);
+    std::fprintf(stderr, "  [t=%llu tid=%d] R %p -> %llx\n",
+                 (unsigned long long)st_->clock, tid(), addr,
+                 (unsigned long long)v);
+  }
+  env_.auditConsistency("read");
+  const auto& cfg = env_.cfg();
+  const uint64_t line = mem::lineOf(addr);
+  Txn* tx = txn_.in_flight ? &txn_ : nullptr;
+  const bool count = st_->clock >= env_.stats_start_;
+
+  mem::L1Cache::Entry* e = l1_->probe(line);
+#ifdef NATLE_DEBUG_NO_L1_READ_FAST_PATH
+  e = nullptr;
+#endif
+  // A hyperthread sibling shares our L1: its in-flight transactional write
+  // can be resident and valid here. Reading it must abort the writer (as the
+  // sibling's access does on real TSX), never observe the dirty value — so
+  // such hits fall through to the directory path, which resolves conflicts.
+  if (e != nullptr && e->state->tx_writer != nullptr &&
+      e->state->tx_writer != &txn_) {
+    e = nullptr;
+  }
+  if (e != nullptr) {
+    chargeMem(cfg.l1_hit);
+    if (count) stats_->l1_hits++;
+    if (tx != nullptr && !(e->tx == tx && e->tx_seq == txn_.seq)) {
+      registerRead(line, *e->state);
+      mem::L1Cache::tag(*e, tx);
+    }
+  } else {
+    mem::LineState& s = env_.dir_.lookup(line, env_.alloc_.homeOf(line));
+    if (s.tx_writer != nullptr && s.tx_writer != &txn_) {
+      // Our fetch invalidates the writer's buffered line: it aborts.
+      env_.abortTxn(*static_cast<Txn*>(s.tx_writer), AbortReason::kConflict,
+                    /*may_retry=*/true, 0);
+    }
+    const int sock = st_->slot.socket;
+    uint32_t lat;
+    if (s.owner_socket == sock || s.hasSharer(sock)) {
+      lat = cfg.local_hit;
+      if (count) stats_->local_hits++;
+    } else if (s.owner_socket >= 0) {
+      // Modified in the other socket: cross-socket cache-to-cache transfer.
+      lat = cfg.remote_transfer + env_.linkDelay(st_->clock);
+      if (count) stats_->remote_transfers++;
+      s.owner_socket = -1;  // downgrades to shared
+    } else {
+      // Clean (or uncached): served from the home node's memory; a clean
+      // copy in the other socket does not make this more expensive.
+      lat = s.home_socket == sock ? cfg.local_dram
+                                  : cfg.remote_dram + env_.linkDelay(st_->clock);
+      if (count) stats_->dram_misses++;
+    }
+    s.addSharer(sock);
+    chargeMem(lat);
+    auto ir = l1_->insert(line, &s, tx);
+    if (ir.capacity_victim != nullptr) {
+      auto* victim = static_cast<Txn*>(ir.capacity_victim);
+      if (victim == &txn_) {
+        selfAbort(AbortReason::kCapacity, false, 0);
+      }
+      env_.abortTxn(*victim, AbortReason::kCapacity, /*may_retry=*/false, 0);
+    }
+    if (tx != nullptr) registerRead(line, s);
+  }
+  if (tx != nullptr) spuriousHazard();
+#ifndef NATLE_DEBUG_NO_YIELD_READ
+  env_.machine_.maybeYield(*st_);
+#endif
+}
+
+void ThreadCtx::accessWrite(void* addr, uint64_t bits, uint8_t size) {
+  if (setupMode()) {
+    std::memcpy(addr, &bits, size);
+    return;
+  }
+  assert(&env_.machine_.current() == st_);
+  checkPendingAbort();
+  env_.auditConsistency("write");
+  const auto& cfg = env_.cfg();
+  const uint64_t line = mem::lineOf(addr);
+  Txn* tx = txn_.in_flight ? &txn_ : nullptr;
+  const bool count = st_->clock >= env_.stats_start_;
+  const int sock = st_->slot.socket;
+
+  if (env_.debug_trace_tid == tid()) {
+    std::fprintf(stderr, "  [t=%llu tid=%d] W %p := %llx\n",
+                 (unsigned long long)st_->clock, tid(), addr,
+                 (unsigned long long)bits);
+  }
+  mem::LineState& s = env_.dir_.lookup(line, env_.alloc_.homeOf(line));
+
+  // Requester wins: our ownership request kills every other transaction
+  // holding this line.
+  if (s.tx_writer != nullptr && s.tx_writer != &txn_) {
+    env_.abortTxn(*static_cast<Txn*>(s.tx_writer), AbortReason::kConflict,
+                  /*may_retry=*/true, 0);
+  }
+  for (size_t i = 0; i < s.tx_readers.size();) {
+    auto* r = static_cast<Txn*>(s.tx_readers[i]);
+    if (r == &txn_) {
+      ++i;
+      continue;
+    }
+    // abortTxn removes r from s.tx_readers, so do not advance i.
+    env_.abortTxn(*r, AbortReason::kConflict, /*may_retry=*/true, 0);
+  }
+
+  // Latency: ownership acquisition.
+  uint32_t lat;
+  const bool l1hit = l1_->probe(line) != nullptr;
+  const uint16_t remote_sharers =
+      static_cast<uint16_t>(s.sharer_mask & ~(1u << sock));
+  if (s.owner_socket == sock) {
+    lat = l1hit ? cfg.l1_hit : cfg.local_hit;
+    if (count) (l1hit ? stats_->l1_hits : stats_->local_hits)++;
+  } else if (s.owner_socket >= 0 && s.owner_socket != sock) {
+    // Modified in the other socket: full cross-socket transfer for ownership.
+    lat = cfg.remote_transfer + env_.linkDelay(st_->clock);
+    if (count) stats_->remote_transfers++;
+  } else if (remote_sharers != 0) {
+    // Clean copies in the other socket must be invalidated (snoop round),
+    // cheaper than pulling a modified line.
+    lat = cfg.remote_inval + env_.linkDelay(st_->clock);
+    if (count) stats_->remote_transfers++;
+  } else if (s.hasSharer(sock)) {
+    lat = (l1hit ? cfg.l1_hit : cfg.local_hit) + cfg.store_upgrade;
+    if (count) (l1hit ? stats_->l1_hits : stats_->local_hits)++;
+  } else {
+    lat = (s.home_socket == sock
+               ? cfg.local_dram
+               : cfg.remote_dram + env_.linkDelay(st_->clock)) +
+          cfg.store_upgrade;
+    if (count) stats_->dram_misses++;
+  }
+  chargeMem(lat);
+
+  // Apply the store (undo-logged when transactional).
+  if (tx != nullptr) {
+    Txn::UndoEntry u;
+    u.addr = addr;
+    u.old_bits = 0;
+    std::memcpy(&u.old_bits, addr, size);
+    u.size = size;
+    txn_.undo.push_back(u);
+  }
+  std::memcpy(addr, &bits, size);
+  s.version++;
+  s.owner_socket = static_cast<int8_t>(sock);
+  s.sharer_mask = static_cast<uint16_t>(1u << sock);
+
+  auto ir = l1_->insert(line, &s, tx);
+  if (ir.capacity_victim != nullptr) {
+    auto* victim = static_cast<Txn*>(ir.capacity_victim);
+    if (victim == &txn_) {
+      selfAbort(AbortReason::kCapacity, false, 0);
+    }
+    env_.abortTxn(*victim, AbortReason::kCapacity, /*may_retry=*/false, 0);
+  }
+
+  if (tx != nullptr && s.tx_writer != &txn_) {
+    s.tx_writer = &txn_;
+    txn_.write_lines.push_back(line);
+    // Fold an earlier read registration into the write set.
+    if (txn_.inReadSet(line)) s.tx_readers.erase_unordered(&txn_);
+  }
+  if (tx != nullptr) spuriousHazard();
+#ifndef NATLE_DEBUG_NO_YIELD_WRITE
+  env_.machine_.maybeYield(*st_);
+#endif
+}
+
+unsigned ThreadCtx::txStart() {
+  assert(env_.machine_.running() && "transactions require a running machine");
+  assert(!txn_.in_flight && "nested transactions are not supported");
+  assert(!txn_.pending_abort);
+  txn_.resetForBegin();
+  env_.in_flight_count_++;
+  txn_.begin_clock = st_->clock;
+  txn_.last_hazard_clock = st_->clock;
+  if (st_->clock >= env_.stats_start_) stats_->tx_begins++;
+  env_.machine_.chargeWork(*st_, env_.cfg().tx_begin_cost);
+  env_.machine_.maybeYield(*st_);
+  return kTxStarted;
+}
+
+unsigned ThreadCtx::txAbortStatus() { return encodeStatus(txn_.last_abort); }
+
+void ThreadCtx::txCommit() {
+  checkPendingAbort();
+  assert(txn_.in_flight);
+  env_.machine_.chargeWork(*st_, env_.cfg().tx_commit_cost);
+  spuriousHazard();  // may longjmp: the hazard covers time up to commit
+  for (uint64_t line : txn_.write_lines) {
+    mem::LineState* s = env_.dir_.find(line);
+    if (s != nullptr && s->tx_writer == &txn_) s->tx_writer = nullptr;
+  }
+  for (uint64_t line : txn_.read_lines) {
+    mem::LineState* s = env_.dir_.find(line);
+    if (s != nullptr) s->tx_readers.erase_unordered(&txn_);
+  }
+  for (void* p : txn_.tx_frees) env_.alloc_.free(p);
+  txn_.in_flight = false;
+  env_.in_flight_count_--;
+  if (st_->clock >= env_.stats_start_) {
+    stats_->tx_commits++;
+    if (txn_.hintclear_in_seq) stats_->commits_after_hintclear_fail++;
+  }
+  if (env_.debug_on_commit) env_.debug_on_commit(*this);
+  env_.machine_.maybeYield(*st_);
+}
+
+void ThreadCtx::txAbort(uint8_t code) {
+  // A cross-thread abort may have landed during the yield at the end of our
+  // previous access; it takes precedence over the explicit abort.
+  checkPendingAbort();
+  assert(txn_.in_flight);
+  selfAbort(AbortReason::kExplicit, /*may_retry=*/true, code);
+}
+
+void* ThreadCtx::alloc(size_t bytes) {
+  // Drain a pending cross-thread abort first: once the victim transaction
+  // was retired, in_flight is false and this allocation would escape the
+  // tx_allocs log.
+  if (!setupMode()) checkPendingAbort();
+  void* p = env_.alloc_.alloc(bytes, setupMode() ? 0 : socket());
+  if (!setupMode()) {
+    env_.machine_.chargeWork(*st_, 40);
+    if (txn_.in_flight) txn_.tx_allocs.push_back(p);
+  }
+  return p;
+}
+
+void ThreadCtx::free(void* p) {
+  if (p == nullptr) return;
+  if (!setupMode()) {
+    // Critical: if our transaction was just aborted (pending), the unlink
+    // stores that made `p` unreachable have been rolled back — freeing it
+    // now would put still-reachable memory on the free list. The longjmp
+    // discards the free along with the rest of the doomed section.
+    checkPendingAbort();
+    env_.machine_.chargeWork(*st_, 30);
+    if (txn_.in_flight) {
+      txn_.tx_frees.push_back(p);
+      return;
+    }
+  }
+  env_.alloc_.free(p);
+}
+
+bool ThreadCtx::opBoundary() {
+  if (setupMode()) return false;
+  if (env_.machine_.maybeMigrate(*st_)) {
+    l1_ = &env_.l1s_[st_->slot.core_global];
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+
+Env::Env(const sim::MachineConfig& cfg, bool pad_alloc)
+    : machine_(cfg), alloc_(pad_alloc) {
+  l1s_.reserve(cfg.coresTotal());
+  for (int i = 0; i < cfg.coresTotal(); ++i) {
+    l1s_.emplace_back(cfg.l1_sets, cfg.l1_ways);
+  }
+}
+
+sim::SimThread* Env::spawnWorker(std::function<void(ThreadCtx&)> fn,
+                                 sim::HwSlot slot, bool pinned,
+                                 uint64_t start_clock) {
+  sim::SimThread* st = machine_.spawn(
+      [fn = std::move(fn)](sim::SimThread& t) {
+        auto* ctx = static_cast<ThreadCtx*>(t.user);
+        fn(*ctx);
+      },
+      slot, pinned, start_clock);
+  auto ctx = std::make_unique<ThreadCtx>(*this, st);
+  st->user = ctx.get();
+  ctxs_.push_back(std::move(ctx));
+  return st;
+}
+
+ThreadCtx& Env::setupCtx() {
+  if (setup_ctx_ == nullptr) {
+    setup_thread_ = std::make_unique<sim::SimThread>();
+    setup_thread_->machine = &machine_;
+    setup_ctx_ = std::make_unique<ThreadCtx>(*this, setup_thread_.get());
+  }
+  return *setup_ctx_;
+}
+
+TxStats Env::totals() const {
+  TxStats t;
+  for (const auto& s : stats_) t += s;
+  return t;
+}
+
+void Env::auditConsistency(const char* where) {
+  if (!debug_audit_) return;
+  // Forward: every in-flight tx's lines are registered.
+  for (auto& ctx : ctxs_) {
+    Txn& t = ctx->txn_;
+    if (!t.in_flight) continue;
+    for (uint64_t line : t.write_lines) {
+      mem::LineState* s = dir_.find(line);
+      if (s == nullptr || s->tx_writer != &t) {
+        std::fprintf(stderr, "AUDIT[%s]: tid %d write line %llx not owned\n",
+                     where, ctx->tid(), (unsigned long long)line);
+        std::abort();
+      }
+    }
+    for (uint64_t line : t.read_lines) {
+      mem::LineState* s = dir_.find(line);
+      const bool folded = s != nullptr && s->tx_writer == &t;
+      if (s == nullptr || (!folded && !s->tx_readers.contains(&t))) {
+        std::fprintf(stderr, "AUDIT[%s]: tid %d read line %llx not registered\n",
+                     where, ctx->tid(), (unsigned long long)line);
+        std::abort();
+      }
+    }
+  }
+  // Reverse: every directory registration refers to a live, matching tx.
+  dir_.forEach([&](uint64_t line, mem::LineState& s) {
+    if (s.tx_writer != nullptr) {
+      Txn* w = static_cast<Txn*>(s.tx_writer);
+      bool listed = false;
+      for (uint64_t l : w->write_lines) listed |= (l == line);
+      if (!w->in_flight || !listed) {
+        std::fprintf(stderr, "AUDIT[%s]: stale writer on line %llx (tid %d in_flight=%d listed=%d)\n",
+                     where, (unsigned long long)line, w->owner->tid(),
+                     (int)w->in_flight, (int)listed);
+        std::abort();
+      }
+    }
+    for (size_t i = 0; i < s.tx_readers.size(); ++i) {
+      Txn* r = static_cast<Txn*>(s.tx_readers[i]);
+      if (!r->in_flight || !r->inReadSet(line)) {
+        std::fprintf(stderr, "AUDIT[%s]: stale reader on line %llx (tid %d in_flight=%d inset=%d)\n",
+                     where, (unsigned long long)line, r->owner->tid(),
+                     (int)r->in_flight, (int)r->inReadSet(line));
+        std::abort();
+      }
+    }
+  });
+}
+
+uint64_t Env::debugCommittedValue(const void* addr, uint8_t size) {
+  for (auto& ctx : ctxs_) {
+    Txn& t = ctx->txn_;
+    if (!t.in_flight) continue;
+    for (const auto& u : t.undo) {
+      if (u.addr == addr) return u.old_bits;  // first entry = pre-tx value
+    }
+  }
+  uint64_t bits = 0;
+  std::memcpy(&bits, addr, size);
+  return bits;
+}
+
+void Env::debugDumpInFlight(uint64_t interesting_line) {
+  for (auto& ctx : ctxs_) {
+    Txn& t = ctx->txn_;
+    if (!t.in_flight) continue;
+    if (t.read_lines.size() <= 1 && t.write_lines.empty()) continue;  // benign: will abort at subscription check
+    std::fprintf(stderr, "in-flight tid=%d clock=%llu seq=%llu reads=%zu writes=%zu undo=%zu\n",
+                 ctx->tid(), (unsigned long long)ctx->st_->clock,
+                 (unsigned long long)t.seq, t.read_lines.size(),
+                 t.write_lines.size(), t.undo.size());
+    bool has = false;
+    for (uint64_t l : t.read_lines) has |= (l == interesting_line);
+    std::fprintf(stderr, "  lock line 0x%llx in read set: %d\n",
+                 (unsigned long long)interesting_line, (int)has);
+    mem::LineState* s = dir_.find(interesting_line);
+    if (s != nullptr) {
+      std::fprintf(stderr, "  lock line readers=%zu writer=%p version=%u\n",
+                   s->tx_readers.size(), (void*)s->tx_writer, s->version);
+    }
+    std::fprintf(stderr, "  lock word raw value=%llu\n",
+                 (unsigned long long)*reinterpret_cast<uint64_t*>(interesting_line * 64));
+    std::abort();
+  }
+}
+
+void Env::abortTxn(Txn& v, AbortReason reason, bool may_retry, uint8_t code) {
+  assert(v.in_flight);
+  v.in_flight = false;
+  in_flight_count_--;
+  v.pending_abort = true;
+  v.last_abort = AbortStatus{reason, may_retry, code};
+  if (!may_retry) v.hintclear_in_seq = true;
+  // Roll back eager writes (reverse order handles repeated stores).
+  for (auto it = v.undo.rbegin(); it != v.undo.rend(); ++it) {
+    std::memcpy(it->addr, &it->old_bits, it->size);
+  }
+  v.undo.clear();
+  const int victim_socket = v.owner->socket();
+  for (uint64_t line : v.write_lines) {
+    mem::LineState* s = dir_.find(line);
+    if (s != nullptr && s->tx_writer == &v) {
+      s->tx_writer = nullptr;
+      // The speculative L1 copy is discarded, but the pre-transaction value
+      // is still present in the victim socket's LLC (transactional stores
+      // never reached it), so the line stays cached there.
+      s->version++;
+      s->owner_socket = -1;
+      s->sharer_mask = static_cast<uint16_t>(1u << victim_socket);
+    }
+  }
+  for (uint64_t line : v.read_lines) {
+    mem::LineState* s = dir_.find(line);
+    if (s != nullptr) s->tx_readers.erase_unordered(&v);
+  }
+  for (void* p : v.tx_allocs) alloc_.free(p);
+  v.tx_allocs.clear();
+  v.tx_frees.clear();
+  ThreadCtx* o = v.owner;
+  if (o->st_->clock >= stats_start_) {
+    o->stats_->tx_aborts[static_cast<int>(reason)]++;
+  }
+}
+
+}  // namespace natle::htm

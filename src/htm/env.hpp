@@ -1,0 +1,259 @@
+// Env glues the discrete-event machine, the memory system and the HTM
+// emulator together and exposes ThreadCtx — the API all simulated code uses
+// for shared-memory access, transactions, allocation and time.
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <type_traits>
+
+#include "htm/stats.hpp"
+#include "htm/txn.hpp"
+#include "mem/alloc.hpp"
+#include "mem/directory.hpp"
+#include "mem/l1.hpp"
+#include "sim/machine.hpp"
+
+namespace natle::htm {
+
+class Env;
+
+// Per-simulated-thread access context. All shared-memory reads and writes in
+// simulated code must go through load/store/cas so the model can charge
+// NUMA-dependent latency and perform conflict detection. Values up to 8
+// bytes are supported (one line never spans an access).
+class ThreadCtx {
+ public:
+  ThreadCtx(Env& env, sim::SimThread* st);
+
+  // --- time ---------------------------------------------------------------
+  uint64_t nowCycles() const;
+  uint64_t nowNs() const;
+  // Burn `cycles` of instruction work (external work, spinning, delays).
+  // While inside a transaction this lengthens the window of contention.
+  void work(uint64_t cycles);
+
+  // --- memory -------------------------------------------------------------
+  template <typename T>
+  T load(const T& ref) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+    accessRead(&ref);
+    return ref;
+  }
+
+  template <typename T>
+  void store(T& ref, T val) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+    uint64_t bits = 0;
+    std::memcpy(&bits, &val, sizeof(T));
+    accessWrite(&ref, bits, sizeof(T));
+  }
+
+  // Atomic compare-and-swap (sequentially consistent in the model: the
+  // simulated-time order is the linearization order). The leading read
+  // resolves conflicts (aborting an in-flight writer) before the comparison,
+  // so a CAS never observes another transaction's uncommitted value.
+  template <typename T>
+  bool cas(T& ref, T expected, T desired) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8);
+    accessRead(&ref);
+    if (std::memcmp(&ref, &expected, sizeof(T)) == 0) {
+      uint64_t bits = 0;
+      std::memcpy(&bits, &desired, sizeof(T));
+      accessWrite(&ref, bits, sizeof(T));
+      return true;
+    }
+    return false;
+  }
+
+  // Atomic fetch-add convenience (shared counters in the applications).
+  template <typename T>
+  T fetchAdd(T& ref, T delta) {
+    accessRead(&ref);  // conflict resolution before observing the value
+    T old = ref;
+    uint64_t bits = 0;
+    T nv = static_cast<T>(old + delta);
+    std::memcpy(&bits, &nv, sizeof(T));
+    accessWrite(&ref, bits, sizeof(T));
+    return old;
+  }
+
+  void* alloc(size_t bytes);
+  void free(void* p);
+
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    void* p = alloc(sizeof(T));
+    return new (p) T(std::forward<Args>(args)...);
+  }
+
+  // --- transactions (RTM-style) --------------------------------------------
+  // Start a transaction with the NATLE_TX_BEGIN macro, which plants the
+  // abort landing pad (setjmp) in the *caller's* frame. That frame must stay
+  // live until txCommit() — i.e. the whole critical section must execute
+  // within the function that began the transaction (real RTM restores the
+  // full register state on abort; a software landing pad cannot outlive its
+  // frame). The lock layer's execute() methods encapsulate this.
+  //
+  //   unsigned s;
+  //   NATLE_TX_BEGIN(ctx, s);
+  //   if (s == kTxStarted) { ... ctx.txCommit(); } else { /* abort status s */ }
+  std::jmp_buf& txJmpBuf() { return txn_.jb; }
+  unsigned txStart();        // internal: body of NATLE_TX_BEGIN, returns kTxStarted
+  unsigned txAbortStatus();  // internal: encoded status after an abort landing
+  void txCommit();
+  [[noreturn]] void txAbort(uint8_t code);  // explicit abort
+  bool inTx() const { return txn_.in_flight; }
+  const AbortStatus& lastAbort() const { return txn_.last_abort; }
+  // Marks the start of a critical-section attempt sequence (for the
+  // commits-after-hint-clear-failure statistic). Called by the lock layer.
+  void resetAttemptSeq() { txn_.hintclear_in_seq = false; }
+
+  // --- identity -----------------------------------------------------------
+  int tid() const { return st_->tid; }
+  int socket() const { return st_->slot.socket; }
+  // The NATLE library caches the socket id in a thread-local and refreshes
+  // it only every ~1K acquisitions (the paper, Section 4.2): a migrated
+  // thread may briefly act on a stale socket, affecting performance only.
+  int cachedSocket() {
+    if (cached_socket_ < 0 || ++socket_probe_ctr_ >= 1024) {
+      cached_socket_ = socket();
+      socket_probe_ctr_ = 0;
+      if (!setupMode()) work(150);  // getcpu()-style library call
+    }
+    return cached_socket_;
+  }
+  sim::Rng& rng() { return st_->rng; }
+  // The underlying simulated thread (for barriers and blocking primitives).
+  sim::SimThread& simThread() { return *st_; }
+  Env& env() { return env_; }
+  TxStats& stats() { return *stats_; }
+
+  // Called by harness code between operations: handles OS migration of
+  // unpinned threads. Returns true if the thread moved to another core.
+  bool opBoundary();
+
+  // In setup mode (machine not running) accesses execute raw and free of
+  // charge; used for prefilling structures before a trial.
+  bool setupMode() const;
+
+ private:
+  friend class Env;
+
+  void accessRead(const void* addr);
+  void accessWrite(void* addr, uint64_t bits, uint8_t size);
+  void checkPendingAbort();
+  void spuriousHazard();
+  [[noreturn]] void selfAbort(AbortReason r, bool may_retry, uint8_t code);
+  void registerRead(uint64_t line, mem::LineState& s);
+  void chargeMem(uint64_t cycles);
+  static unsigned encodeStatus(const AbortStatus& a);
+
+  Env& env_;
+  sim::SimThread* st_;
+  Txn txn_;
+  TxStats* stats_;
+  mem::L1Cache* l1_;
+  int cached_socket_ = -1;
+  int socket_probe_ctr_ = 0;
+};
+
+// Begin a transaction; see ThreadCtx::txStart for the contract. `status_var`
+// receives kTxStarted on entry and the encoded AbortStatus after an abort.
+#define NATLE_TX_BEGIN(ctx, status_var)              \
+  do {                                               \
+    if (setjmp((ctx).txJmpBuf()) == 0) {             \
+      (status_var) = (ctx).txStart();                \
+    } else {                                         \
+      (status_var) = (ctx).txAbortStatus();          \
+    }                                                \
+  } while (0)
+
+// Decode helpers for the txBegin return value.
+AbortStatus decodeStatus(unsigned status);
+
+class Env {
+ public:
+  explicit Env(const sim::MachineConfig& cfg, bool pad_alloc = true);
+
+  sim::Machine& machine() { return machine_; }
+  const sim::MachineConfig& cfg() const { return machine_.cfg(); }
+
+  // Spawn a worker thread; `fn` receives a ThreadCtx bound to the fiber.
+  sim::SimThread* spawnWorker(std::function<void(ThreadCtx&)> fn, sim::HwSlot slot,
+                              bool pinned = true, uint64_t start_clock = 0);
+  void run() { machine_.run(); }
+
+  // Context for pre-trial setup (prefilling) — accesses are free and do not
+  // touch coherence state.
+  ThreadCtx& setupCtx();
+
+  // Shared allocation outside simulated time (locks, trial state).
+  void* allocShared(size_t bytes, int home_socket = 0) {
+    return alloc_.alloc(bytes, home_socket);
+  }
+
+  // Counters accumulate only at/after this simulated time.
+  void setStatsStart(uint64_t cycles) { stats_start_ = cycles; }
+  uint64_t statsStart() const { return stats_start_; }
+
+  TxStats totals() const;
+
+  mem::SimAllocator& allocator() { return alloc_; }
+  mem::Directory& directory() { return dir_; }
+  mem::L1Cache& l1(int core) { return l1s_[core]; }
+
+  // Abort a victim transaction on behalf of a requester (or the hazard
+  // machinery). Rolls back memory immediately.
+  void abortTxn(Txn& victim, AbortReason reason, bool may_retry, uint8_t code);
+
+  // Cross-socket link bandwidth model: called for every remote transfer.
+  // Returns the queueing delay at time `now` and reserves the link.
+  uint64_t linkDelay(uint64_t now) {
+    const uint64_t start = now > link_free_ ? now : link_free_;
+    link_free_ = start + cfg().link_occupancy;
+    return start - now;
+  }
+
+  // Number of transactions currently in flight. When zero, raw memory holds
+  // only committed state (useful for debug auditing).
+  int inFlightCount() const { return in_flight_count_; }
+
+  // Debug: cross-check every in-flight transaction's footprint against the
+  // directory (readers registered, writers exclusive, no stale entries).
+  // Aborts the process on violation. Extremely slow; only for bug hunts.
+  void setDebugAudit(bool on) { debug_audit_ = on; }
+  // Debug: dump every in-flight transaction's footprint to stderr.
+  void debugDumpInFlight(uint64_t interesting_line);
+  void auditConsistency(const char* where);
+  // Debug: invoked inside txCommit after the transaction retires (and the
+  // committing ThreadCtx passed), before any yield.
+  std::function<void(ThreadCtx&)> debug_on_commit;
+  // Debug: when >= 0, every access by this tid is logged to stderr.
+  int debug_trace_tid = -1;
+  // Debug: the value `addr` would hold if every in-flight transaction were
+  // rolled back (write sets are disjoint, so this is well-defined).
+  uint64_t debugCommittedValue(const void* addr, uint8_t size);
+
+ private:
+  friend class ThreadCtx;
+
+  sim::Machine machine_;
+  mem::SimAllocator alloc_;
+  mem::Directory dir_;
+  std::vector<mem::L1Cache> l1s_;
+  std::deque<TxStats> stats_;
+  std::deque<std::unique_ptr<ThreadCtx>> ctxs_;
+  uint64_t stats_start_ = 0;
+
+  std::unique_ptr<sim::SimThread> setup_thread_;
+  std::unique_ptr<ThreadCtx> setup_ctx_;
+  int in_flight_count_ = 0;
+  uint64_t link_free_ = 0;
+  bool debug_audit_ = false;
+};
+
+}  // namespace natle::htm

@@ -1,0 +1,54 @@
+// Per-thread event counters. Counters only accumulate once the thread's
+// clock passes Env::statsStart() (the measurement window after warmup), so
+// trial statistics exclude cache/profiling warmup.
+#pragma once
+
+#include <cstdint>
+
+#include "htm/abort.hpp"
+
+namespace natle::htm {
+
+struct TxStats {
+  // Transactions.
+  uint64_t tx_begins = 0;
+  uint64_t tx_commits = 0;
+  uint64_t tx_aborts[kAbortReasonCount] = {};
+  // Commits whose attempt sequence (since the last successful commit or
+  // fallback) contained at least one abort with the hint bit clear — the
+  // numerator of the paper's Figure 2(b).
+  uint64_t commits_after_hintclear_fail = 0;
+  // Fallback lock acquisitions (the transaction path gave up).
+  uint64_t lock_acquires = 0;
+
+  // Memory system.
+  uint64_t l1_hits = 0;
+  uint64_t local_hits = 0;
+  uint64_t remote_transfers = 0;
+  uint64_t dram_misses = 0;  // LLC misses in the paper's terminology
+
+  // Workload-level operations (filled by the harness).
+  uint64_t ops = 0;
+
+  uint64_t totalAborts() const {
+    uint64_t n = 0;
+    for (auto a : tx_aborts) n += a;
+    return n;
+  }
+
+  TxStats& operator+=(const TxStats& o) {
+    tx_begins += o.tx_begins;
+    tx_commits += o.tx_commits;
+    for (int i = 0; i < kAbortReasonCount; ++i) tx_aborts[i] += o.tx_aborts[i];
+    commits_after_hintclear_fail += o.commits_after_hintclear_fail;
+    lock_acquires += o.lock_acquires;
+    l1_hits += o.l1_hits;
+    local_hits += o.local_hits;
+    remote_transfers += o.remote_transfers;
+    dram_misses += o.dram_misses;
+    ops += o.ops;
+    return *this;
+  }
+};
+
+}  // namespace natle::htm

@@ -1,0 +1,79 @@
+// Transaction descriptor for the best-effort HTM emulator.
+//
+// Versioning is eager: transactional stores apply to memory immediately and
+// are undone from the log on abort. Conflict detection is also eager and
+// requester-wins: the thread performing a conflicting access synchronously
+// rolls the victim transaction back (restoring memory before the requester
+// proceeds), and the victim discovers its fate at its next simulated action,
+// where it longjmps to its txBegin. This mirrors TSX, where the incoming
+// coherence invalidation kills the receiving transaction.
+#pragma once
+
+#include <csetjmp>
+#include <cstdint>
+#include <vector>
+
+#include "htm/abort.hpp"
+#include "mem/line.hpp"
+
+namespace natle::htm {
+
+class ThreadCtx;
+
+class Txn : public mem::TxBase {
+ public:
+  struct UndoEntry {
+    void* addr;
+    uint64_t old_bits;
+    uint8_t size;
+  };
+
+  ThreadCtx* owner = nullptr;
+  std::jmp_buf jb;
+
+  // Set by the aborter; consumed when the victim notices.
+  bool pending_abort = false;
+  AbortStatus last_abort;
+
+  // Footprint.
+  std::vector<uint64_t> read_lines;
+  std::vector<uint64_t> write_lines;
+  uint64_t read_bloom = 0;  // conservative filter over read_lines
+
+  // Eager-versioning logs.
+  std::vector<UndoEntry> undo;
+  std::vector<void*> tx_allocs;  // freed if we abort
+  std::vector<void*> tx_frees;   // applied if we commit
+
+  // Hazard bookkeeping for spurious (interrupt) aborts.
+  uint64_t begin_clock = 0;
+  uint64_t last_hazard_clock = 0;
+
+  // True if any attempt since the current critical section started aborted
+  // with the hint bit clear (Fig. 2(b) bookkeeping; reset by the lock layer).
+  bool hintclear_in_seq = false;
+
+  static uint64_t bloomBit(uint64_t line) { return 1ull << (line % 64); }
+
+  bool inReadSet(uint64_t line) const {
+    if ((read_bloom & bloomBit(line)) == 0) return false;
+    for (uint64_t l : read_lines) {
+      if (l == line) return true;
+    }
+    return false;
+  }
+
+  void resetForBegin() {
+    ++seq;
+    in_flight = true;
+    pending_abort = false;
+    read_lines.clear();
+    write_lines.clear();
+    read_bloom = 0;
+    undo.clear();
+    tx_allocs.clear();
+    tx_frees.clear();
+  }
+};
+
+}  // namespace natle::htm

@@ -1,0 +1,67 @@
+#include "mem/alloc.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace natle::mem {
+
+SimAllocator::~SimAllocator() {
+  for (auto& c : chunks_) ::free(c.base);
+}
+
+void* SimAllocator::alloc(size_t bytes, int home_socket) {
+  if (bytes == 0) bytes = 1;
+  size_t padded = pad_ ? (bytes + kLineBytes - 1) / kLineBytes * kLineBytes
+                       : (bytes + 15) / 16 * 16;
+  auto& fl = free_lists_[{home_socket, padded}];
+  void* p;
+  if (!fl.empty()) {
+    p = fl.back();
+    fl.pop_back();
+  } else {
+    p = carve(padded, home_socket);
+  }
+  live_[p] = padded;
+  live_bytes_ += padded;
+  return p;
+}
+
+void* SimAllocator::carve(size_t bytes, int home_socket) {
+  auto& [cursor, remaining] = arena_[home_socket];
+  if (remaining < bytes) {
+    size_t chunk_size = bytes > kChunkBytes ? bytes : kChunkBytes;
+    char* base = static_cast<char*>(std::aligned_alloc(kLineBytes, chunk_size));
+    if (base == nullptr) throw std::bad_alloc();
+    chunks_.push_back(Chunk{base, chunk_size, static_cast<int8_t>(home_socket)});
+    uint64_t first = lineOf(base);
+    uint64_t last = lineOf(base + chunk_size - 1);
+    homes_[first] = {last, static_cast<int8_t>(home_socket)};
+    cursor = base;
+    remaining = chunk_size;
+  }
+  char* p = cursor;
+  cursor += bytes;
+  remaining -= bytes;
+  return p;
+}
+
+void SimAllocator::free(void* p) {
+  if (p == nullptr) return;
+  auto it = live_.find(p);
+  if (it == live_.end()) return;  // not ours (or double free): ignore
+  size_t padded = it->second;
+  live_bytes_ -= padded;
+  live_.erase(it);
+  int home = homeOf(lineOf(p));
+  free_lists_[{home, padded}].push_back(p);
+}
+
+int8_t SimAllocator::homeOf(uint64_t line) const {
+  auto it = homes_.upper_bound(line);
+  if (it == homes_.begin()) return 0;
+  --it;
+  if (line >= it->first && line <= it->second.first) return it->second.second;
+  return 0;
+}
+
+}  // namespace natle::mem

@@ -1,0 +1,63 @@
+// HTM-friendly simulated-memory allocator.
+//
+// Mirrors the allocator the paper uses (Dice et al., "The influence of
+// malloc placement on TSX hardware transactional memory"): every allocation
+// is cache-line aligned and, by default, padded to a whole number of lines so
+// that two objects never share a line (no false transactional conflicts).
+// Each allocation is homed on a socket (first-touch approximation: the
+// allocating thread's socket), which the latency model uses to price cold
+// DRAM misses. Padding can be disabled per-allocator for the false-sharing
+// ablation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mem/line.hpp"
+
+namespace natle::mem {
+
+class SimAllocator {
+ public:
+  explicit SimAllocator(bool pad_to_line = true) : pad_(pad_to_line) {}
+  ~SimAllocator();
+
+  SimAllocator(const SimAllocator&) = delete;
+  SimAllocator& operator=(const SimAllocator&) = delete;
+
+  void* alloc(size_t bytes, int home_socket);
+  void free(void* p);
+
+  // DRAM home of a line; 0 for lines the allocator never handed out (static
+  // or stack memory used by harness code).
+  int8_t homeOf(uint64_t line) const;
+
+  size_t liveBytes() const { return live_bytes_; }
+  bool padded() const { return pad_; }
+
+ private:
+  struct Chunk {
+    char* base;
+    size_t size;
+    int8_t home;
+  };
+
+  static constexpr size_t kChunkBytes = 1 << 20;
+
+  void* carve(size_t bytes, int home_socket);
+
+  bool pad_;
+  // Per-(home, size-class) free lists; size class = padded byte size.
+  std::map<std::pair<int, size_t>, std::vector<void*>> free_lists_;
+  // Bump arenas per home socket.
+  std::vector<Chunk> chunks_;
+  std::map<int, std::pair<char*, size_t>> arena_;  // home -> (cursor, remaining)
+  // Interval map line -> home: keyed by first line of a chunk.
+  std::map<uint64_t, std::pair<uint64_t, int8_t>> homes_;  // start -> (end, home)
+  std::map<void*, size_t> live_;                           // ptr -> padded size
+  size_t live_bytes_ = 0;
+};
+
+}  // namespace natle::mem

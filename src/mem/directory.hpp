@@ -1,0 +1,45 @@
+// The line directory: lazily materialised coherence state for every cache
+// line the simulation touches. unordered_map gives us reference stability,
+// which the per-core L1 filters rely on (they cache LineState pointers).
+#pragma once
+
+#include <unordered_map>
+
+#include "mem/line.hpp"
+
+namespace natle::mem {
+
+class Directory {
+ public:
+  Directory() { map_.reserve(1 << 16); }
+
+  // Get-or-create the state for a line. New lines start uncached in DRAM at
+  // the given home socket.
+  LineState& lookup(uint64_t line, int8_t home_socket) {
+    auto [it, inserted] = map_.try_emplace(line);
+    if (inserted) it->second.home_socket = home_socket;
+    return it->second;
+  }
+
+  LineState* find(uint64_t line) {
+    auto it = map_.find(line);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  size_t size() const { return map_.size(); }
+
+  // Debug iteration (auditing only).
+  template <typename F>
+  void forEach(F&& f) {
+    for (auto& [line, state] : map_) f(line, state);
+  }
+
+  // Drop all coherence state (used between trials; transaction footprints
+  // must be empty when called).
+  void reset() { map_.clear(); }
+
+ private:
+  std::unordered_map<uint64_t, LineState> map_;
+};
+
+}  // namespace natle::mem

@@ -1,0 +1,129 @@
+// Per-core L1 filter, shared by the core's hyperthreads.
+//
+// It plays two roles, both load-bearing for the paper's findings:
+//  1. Locality: a valid entry makes repeat accesses cost l1_hit cycles.
+//  2. HTM capacity: lines belonging to an in-flight transaction must stay
+//     resident. If an insertion can only evict a transactional line, that
+//     line's transaction suffers a capacity abort. Because both hyperthreads
+//     share the filter, a sibling's footprint can evict a transactional line
+//     — a *transient* capacity failure, which is exactly the mechanism behind
+//     the paper's Figure 2 observation that hint-clear aborts often succeed
+//     on retry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/line.hpp"
+
+namespace natle::mem {
+
+class L1Cache {
+ public:
+  struct Entry {
+    uint64_t line = 0;
+    LineState* state = nullptr;
+    uint32_t version = 0;  // valid iff version == state->version
+    TxBase* tx = nullptr;  // transaction that touched it, if any
+    uint64_t tx_seq = 0;
+  };
+
+  struct InsertResult {
+    bool inserted = false;
+    TxBase* capacity_victim = nullptr;  // transaction to abort, if eviction
+                                        // had to claim a transactional line
+  };
+
+  L1Cache(uint32_t sets, uint32_t ways)
+      : sets_(sets), ways_(ways), entries_(sets * ways), rr_(sets, 0) {}
+
+  // Returns the valid entry for `line`, or nullptr on miss.
+  Entry* probe(uint64_t line) {
+    Entry* set = &entries_[(line & (sets_ - 1)) * ways_];
+    for (uint32_t w = 0; w < ways_; ++w) {
+      Entry& e = set[w];
+      if (e.line == line && e.state != nullptr && e.version == e.state->version) {
+        return &e;
+      }
+    }
+    return nullptr;
+  }
+
+  // Install a line. `tx` is the in-flight transaction performing the access
+  // (nullptr for plain accesses). If every way in the set holds a line
+  // belonging to a live transaction, one of those transactions must lose its
+  // line: the victim transaction is reported so the caller can abort it
+  // (preferring a victim other than `tx` — the sibling's transaction — and
+  // falling back to self-abort, a genuine overflow).
+  InsertResult insert(uint64_t line, LineState* state, TxBase* tx) {
+    Entry* set = &entries_[(line & (sets_ - 1)) * ways_];
+    Entry* victim = nullptr;
+    // Pass 1: invalid or empty way.
+    for (uint32_t w = 0; w < ways_; ++w) {
+      Entry& e = set[w];
+      if (e.state == nullptr || e.version != e.state->version || e.line == line) {
+        victim = &e;
+        break;
+      }
+    }
+    // Pass 2: a way whose transaction is no longer live (or was plain).
+    if (victim == nullptr) {
+      uint32_t start = rr_[line & (sets_ - 1)]++;
+      for (uint32_t i = 0; i < ways_; ++i) {
+        Entry& e = set[(start + i) % ways_];
+        if (!txLive(e)) {
+          victim = &e;
+          break;
+        }
+      }
+    }
+    InsertResult r;
+    if (victim == nullptr) {
+      // Every way is pinned by a live transaction: evict one. Prefer a line
+      // of some *other* transaction (hyperthread sibling) over our own.
+      uint32_t start = rr_[line & (sets_ - 1)]++;
+      for (uint32_t i = 0; i < ways_; ++i) {
+        Entry& e = set[(start + i) % ways_];
+        if (e.tx != tx) {
+          victim = &e;
+          break;
+        }
+      }
+      if (victim == nullptr) victim = &set[start % ways_];  // self-abort
+      r.capacity_victim = victim->tx;
+    }
+    victim->line = line;
+    victim->state = state;
+    victim->version = state->version;
+    victim->tx = tx;
+    victim->tx_seq = tx != nullptr ? tx->seq : 0;
+    r.inserted = true;
+    return r;
+  }
+
+  // Mark an already-resident line as belonging to `tx` (a transaction that
+  // re-reads a line the core cached earlier).
+  static void tag(Entry& e, TxBase* tx) {
+    e.tx = tx;
+    e.tx_seq = tx != nullptr ? tx->seq : 0;
+  }
+
+  void flush() {
+    for (auto& e : entries_) e = Entry{};
+  }
+
+  uint32_t sets() const { return sets_; }
+  uint32_t ways() const { return ways_; }
+
+ private:
+  static bool txLive(const Entry& e) {
+    return e.tx != nullptr && e.tx->in_flight && e.tx->seq == e.tx_seq;
+  }
+
+  uint32_t sets_;
+  uint32_t ways_;
+  std::vector<Entry> entries_;
+  std::vector<uint32_t> rr_;
+};
+
+}  // namespace natle::mem

@@ -1,0 +1,46 @@
+// Per-cache-line coherence and transactional bookkeeping.
+//
+// The directory tracks state at socket granularity: which sockets hold a
+// valid copy and which socket last gained exclusive ownership. On top of the
+// coherence state it records the in-flight hardware transactions that have
+// the line in their read or write set, which is what makes TSX-style
+// invalidation-triggered aborts cheap to detect at the requesting access.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/small_vec.hpp"
+
+namespace natle::mem {
+
+constexpr uint32_t kLineBytes = 64;
+
+inline uint64_t lineOf(const void* p) {
+  return reinterpret_cast<uint64_t>(p) / kLineBytes;
+}
+
+// Base of the HTM layer's transaction descriptor: the fields the memory
+// system needs to tell whether a cached tag still refers to a live
+// transaction. `seq` increments on every begin, so a stale (tx, seq) pair
+// never matches a later transaction of the same thread.
+struct TxBase {
+  bool in_flight = false;
+  uint64_t seq = 0;
+};
+
+struct LineState {
+  // Coherence (socket granularity).
+  uint32_t version = 0;      // bumped on every write; cached copies validate against it
+  uint16_t sharer_mask = 0;  // sockets holding a valid copy
+  int8_t owner_socket = -1;  // socket with the exclusive/modified copy, -1 none
+  int8_t home_socket = 0;    // DRAM home for cold-miss cost
+
+  // In-flight transactional footprint, maintained by the HTM layer.
+  TxBase* tx_writer = nullptr;
+  sim::SmallVec<TxBase*, 4> tx_readers;
+
+  bool hasSharer(int socket) const { return (sharer_mask >> socket) & 1u; }
+  void addSharer(int socket) { sharer_mask |= static_cast<uint16_t>(1u << socket); }
+};
+
+}  // namespace natle::mem

@@ -1,0 +1,43 @@
+// Simulated-time barrier: arriving threads block; the last arrival releases
+// everyone at the maximum arrival clock (plus a small release cost), exactly
+// like a pthread barrier's makespan behaviour.
+#pragma once
+
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace natle::sim {
+
+class Barrier {
+ public:
+  Barrier(Machine& m, int parties) : m_(m), parties_(parties) {}
+
+  void arrive(SimThread& t) {
+    if (max_clock_ < t.clock) max_clock_ = t.clock;
+    if (++waiting_ == parties_) {
+      // Last arrival: release the others at the barrier's completion time.
+      const uint64_t release = max_clock_ + kReleaseCost;
+      for (SimThread* b : blocked_) m_.unblock(*b, release);
+      blocked_.clear();
+      waiting_ = 0;
+      max_clock_ = 0;
+      if (t.clock < release) t.clock = release;
+      return;
+    }
+    blocked_.push_back(&t);
+    m_.blockCurrent();
+  }
+
+  int parties() const { return parties_; }
+
+ private:
+  static constexpr uint64_t kReleaseCost = 120;
+  Machine& m_;
+  int parties_;
+  int waiting_ = 0;
+  uint64_t max_clock_ = 0;
+  std::vector<SimThread*> blocked_;
+};
+
+}  // namespace natle::sim

@@ -1,0 +1,86 @@
+// Machine configuration for the simulated multi-socket HTM system.
+//
+// The defaults model the paper's large machine: an Oracle X5-2 with two
+// Intel Xeon E5-2699 v3 sockets, 18 cores per socket, 2 hyperthreads per
+// core (72 hardware threads) at 2.3 GHz. SmallMachine() models the paper's
+// comparison box, a single-socket 4-core hyperthreaded Core i7-4770.
+//
+// Latencies are in CPU cycles and are deliberately round: the reproduction
+// targets the *shape* of the paper's results (who wins, where the cliffs
+// are), not absolute nanoseconds.
+#pragma once
+
+#include <cstdint>
+
+namespace natle::sim {
+
+struct MachineConfig {
+  // Topology.
+  int sockets = 2;
+  int cores_per_socket = 18;
+  int threads_per_core = 2;
+  double ghz = 2.3;  // cycles per simulated nanosecond
+
+  // Memory-system latencies (cycles).
+  uint32_t l1_hit = 4;            // line present in the core's L1 filter
+  uint32_t local_hit = 40;        // served by same-socket L3 / peer cache
+  uint32_t local_dram = 220;      // cold miss, line homed on this socket
+  uint32_t remote_transfer = 500; // cross-socket transfer of a modified line
+  uint32_t remote_inval = 280;    // invalidating clean sharers on the other socket
+  // Cross-socket interconnect bandwidth: each remote transfer occupies the
+  // shared link for this many cycles; concurrent transfers queue. 64 bytes
+  // at ~19 GB/s and 2.3 GHz is ~8 cycles; real links run below peak.
+  uint32_t link_occupancy = 24;
+  uint32_t remote_dram = 340;     // cold miss, line homed on the other socket
+  uint32_t store_upgrade = 12;    // extra cost to gain write ownership locally
+
+  // Hyperthreading: multiplier applied to instruction-work charges when both
+  // hardware threads of a core are populated. (Memory latencies are physical
+  // and are not scaled.)
+  double ht_penalty = 1.6;
+
+  // Per-core L1 filter used for locality and for HTM capacity tracking.
+  // Modeled after a 32 KiB 8-way L1D: 64 sets x 8 ways of 64-byte lines.
+  uint32_t l1_sets = 64;
+  uint32_t l1_ways = 8;
+
+  // HTM parameters.
+  uint32_t tx_begin_cost = 25;   // cycles charged by tx begin
+  uint32_t tx_commit_cost = 35;  // cycles charged by a successful commit
+  uint32_t tx_abort_cost = 70;   // cycles charged on the abort path
+  // Hazard of a spurious abort (interrupts, ring transitions...) per cycle a
+  // transaction is in flight. Footnote 1 of the paper: even 43us transactions
+  // see a negligible interrupt-abort rate, so this is tiny.
+  double spurious_abort_per_cycle = 2e-9;
+
+  // Cost model for thread lifecycle (used by paraheap-k, Fig. 19):
+  // creating a worker costs create, pinning it costs pin (sched_setaffinity
+  // plus the migration it forces).
+  uint64_t thread_create_cost = 60000;
+  uint64_t thread_pin_cost = 140000;
+
+  // Deterministic seed for every RNG in the machine.
+  uint64_t seed = 1;
+
+  int totalThreads() const { return sockets * cores_per_socket * threads_per_core; }
+  int coresTotal() const { return sockets * cores_per_socket; }
+  uint64_t msToCycles(double ms) const {
+    return static_cast<uint64_t>(ms * 1e6 * ghz);
+  }
+  double cyclesToSec(uint64_t cycles) const { return static_cast<double>(cycles) / (ghz * 1e9); }
+};
+
+// The paper's large two-socket machine (72 threads).
+inline MachineConfig LargeMachine() { return MachineConfig{}; }
+
+// The paper's small single-socket machine (8 threads, Core i7-4770 @3.4GHz).
+inline MachineConfig SmallMachine() {
+  MachineConfig c;
+  c.sockets = 1;
+  c.cores_per_socket = 4;
+  c.threads_per_core = 2;
+  c.ghz = 3.4;
+  return c;
+}
+
+}  // namespace natle::sim

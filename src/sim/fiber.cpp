@@ -1,0 +1,72 @@
+#include "sim/fiber.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+extern "C" void natle_fiber_switch(void** save_sp, void* load_sp);
+extern "C" void natle_fiber_trampoline();
+
+namespace natle::sim {
+
+void fiberEntry(Fiber* f) {
+  f->fn_();
+  f->finished_ = true;
+  f->yield();
+  // A finished fiber must never be resumed again.
+  std::abort();
+}
+
+}  // namespace natle::sim
+
+extern "C" [[noreturn]] void natle_fiber_entry(void* arg) {
+  natle::sim::fiberEntry(static_cast<natle::sim::Fiber*>(arg));
+  __builtin_unreachable();
+}
+
+namespace natle::sim {
+
+Fiber::Fiber(std::function<void()> fn, size_t stack_bytes) : fn_(std::move(fn)) {
+  const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  const size_t stack = (stack_bytes + page - 1) / page * page;
+  map_bytes_ = stack + page;  // one guard page below the stack
+  void* map = mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (map == MAP_FAILED) {
+    std::perror("natle::sim::Fiber mmap");
+    std::abort();
+  }
+  if (mprotect(map, page, PROT_NONE) != 0) {
+    std::perror("natle::sim::Fiber mprotect");
+    std::abort();
+  }
+  stack_base_ = map;
+
+  // Fabricate the frame natle_fiber_switch pops on first resume:
+  // [r15=this][r14][r13][r12][rbx][rbp][ret=trampoline], top of stack last.
+  auto* top = reinterpret_cast<uint64_t*>(static_cast<char*>(map) + map_bytes_);
+  top -= 1;
+  *top = reinterpret_cast<uint64_t>(&natle_fiber_trampoline);  // return addr
+  top -= 6;
+  std::memset(top, 0, 6 * sizeof(uint64_t));
+  top[5] = 0;                                   // rbp
+  top[0] = reinterpret_cast<uint64_t>(this);    // r15 -> trampoline arg
+  sp_ = top;
+}
+
+Fiber::~Fiber() {
+  if (stack_base_ != nullptr) munmap(stack_base_, map_bytes_);
+}
+
+void Fiber::resume() {
+  natle_fiber_switch(&return_sp_, sp_);
+}
+
+void Fiber::yield() {
+  natle_fiber_switch(&sp_, return_sp_);
+}
+
+}  // namespace natle::sim

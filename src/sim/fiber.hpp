@@ -1,0 +1,46 @@
+// Stackful cooperative fibers.
+//
+// Each simulated hardware thread runs on its own fiber so that ordinary C++
+// data-structure code can be executed under the discrete-event scheduler: a
+// fiber runs until its simulated clock passes the next runnable thread's
+// clock, then switches back to the scheduler.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace natle::sim {
+
+class Fiber {
+ public:
+  // stack_bytes is rounded up to the page size; a guard page is placed below
+  // the stack so overflow faults instead of corrupting a neighbour.
+  explicit Fiber(std::function<void()> fn, size_t stack_bytes = 256 * 1024);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  // Switch from the calling context into this fiber. Returns when the fiber
+  // switches back (yield) or finishes.
+  void resume();
+
+  // Called from inside the fiber: switch back to whoever resumed it.
+  void yield();
+
+  bool finished() const { return finished_; }
+
+ private:
+  friend void fiberEntry(Fiber*);
+
+  void* sp_ = nullptr;        // fiber's saved stack pointer when suspended
+  void* return_sp_ = nullptr; // resumer's saved stack pointer while fiber runs
+  void* stack_base_ = nullptr;
+  size_t map_bytes_ = 0;
+  std::function<void()> fn_;
+  bool finished_ = false;
+};
+
+}  // namespace natle::sim

@@ -1,0 +1,137 @@
+#include "sim/machine.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace natle::sim {
+
+Machine::Machine(const MachineConfig& cfg)
+    : cfg_(cfg), occupancy_(cfg.coresTotal(), 0),
+      migration_interval_(cfg.msToCycles(1.0)) {}
+
+Machine::~Machine() = default;
+
+SimThread* Machine::spawn(std::function<void(SimThread&)> fn, HwSlot slot,
+                          bool pinned, uint64_t start_clock) {
+  auto t = std::make_unique<SimThread>();
+  SimThread* raw = t.get();
+  raw->tid = static_cast<int>(threads_.size());
+  raw->slot = slot;
+  raw->pinned = pinned;
+  raw->clock = start_clock;
+  raw->machine = this;
+  uint64_t seed_state = cfg_.seed * 0x9e3779b97f4a7c15ULL + raw->tid + 1;
+  raw->rng = Rng(splitmix64(seed_state));
+  raw->next_migration_check = start_clock + migration_interval_;
+  raw->fiber = std::make_unique<Fiber>([raw, fn = std::move(fn)] { fn(*raw); });
+  occupancy_[slot.core_global]++;
+  threads_.push_back(std::move(t));
+  enqueue(raw);
+  return raw;
+}
+
+void Machine::enqueue(SimThread* t) {
+  heap_.push(Entry{t->clock, seq_++, t});
+  if (t->clock < next_wake_cache_) next_wake_cache_ = t->clock;
+}
+
+uint64_t Machine::nextRunnableClock() const {
+  return heap_.empty() ? UINT64_MAX : heap_.top().clock;
+}
+
+void Machine::run() {
+  assert(current_ == nullptr && "run() is not reentrant");
+  while (!heap_.empty()) {
+    Entry e = heap_.top();
+    heap_.pop();
+    SimThread* t = e.t;
+    next_wake_cache_ = nextRunnableClock();
+    current_ = t;
+    t->started = true;
+    t->fiber->resume();
+    current_ = nullptr;
+    if (t->fiber->finished()) {
+      finishThread(*t);
+    } else if (!t->blocked) {
+      enqueue(t);
+    }
+  }
+}
+
+void Machine::finishThread(SimThread& t) {
+  if (t.clock > max_finish_clock_) max_finish_clock_ = t.clock;
+  occupancy_[t.slot.core_global]--;
+  assert(occupancy_[t.slot.core_global] >= 0);
+}
+
+SimThread& Machine::current() {
+  assert(current_ != nullptr && "no simulated thread is running");
+  return *current_;
+}
+
+void Machine::charge(SimThread& t, uint64_t cycles) { t.clock += cycles; }
+
+void Machine::chargeWork(SimThread& t, uint64_t cycles) {
+  if (occupancy_[t.slot.core_global] > 1) {
+    cycles = static_cast<uint64_t>(static_cast<double>(cycles) * cfg_.ht_penalty);
+  }
+  t.clock += cycles;
+}
+
+void Machine::maybeYield(SimThread& t) {
+  assert(&t == current_);
+  if (t.clock > next_wake_cache_) t.fiber->yield();
+}
+
+void Machine::blockCurrent() {
+  SimThread& t = current();
+  t.blocked = true;
+  t.fiber->yield();
+  assert(!t.blocked);
+}
+
+void Machine::unblock(SimThread& t, uint64_t at) {
+  assert(t.blocked);
+  t.blocked = false;
+  if (t.clock < at) t.clock = at;
+  enqueue(&t);
+}
+
+int Machine::socketLoad(int socket) const {
+  int n = 0;
+  for (int c = socket * cfg_.cores_per_socket;
+       c < (socket + 1) * cfg_.cores_per_socket; ++c) {
+    n += occupancy_[c];
+  }
+  return n;
+}
+
+bool Machine::maybeMigrate(SimThread& t) {
+  if (t.pinned || t.clock < t.next_migration_check) return false;
+  // Jittered rebalance interval so unpinned threads don't move in lockstep.
+  t.next_migration_check =
+      t.clock + migration_interval_ + t.rng.below(migration_interval_ / 2 + 1);
+  // Linux CFS approximation: move to the least-loaded core if that improves
+  // balance; scan from a random start so ties spread.
+  const int ncores = cfg_.coresTotal();
+  int best = t.slot.core_global;
+  int best_occ = occupancy_[best] - 1;  // occupancy excluding ourselves
+  const int start = static_cast<int>(t.rng.below(ncores));
+  for (int i = 0; i < ncores; ++i) {
+    const int c = (start + i) % ncores;
+    if (occupancy_[c] < best_occ) {
+      best = c;
+      best_occ = occupancy_[c];
+    }
+  }
+  if (best == t.slot.core_global) return false;
+  occupancy_[t.slot.core_global]--;
+  occupancy_[best]++;
+  t.slot.core_global = best;
+  t.slot.socket = best / cfg_.cores_per_socket;
+  ++migrations_;
+  charge(t, 3000);  // context migration cost
+  return true;
+}
+
+}  // namespace natle::sim

@@ -1,0 +1,121 @@
+// The discrete-event core: simulated threads on fibers, scheduled in
+// conservative simulated-time order.
+//
+// Invariant: the running thread's clock is <= every other runnable thread's
+// clock at the moment it performs a simulated action, so actions are globally
+// ordered by simulated time and the whole run is deterministic for a fixed
+// seed. A fiber yields control as soon as a charge pushes its clock past the
+// next runnable thread's clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/fiber.hpp"
+#include "sim/rng.hpp"
+#include "sim/topology.hpp"
+
+namespace natle::sim {
+
+class Machine;
+
+// A simulated hardware thread. `user` is scratch the layers above attach
+// (the HTM layer hangs its per-thread context here).
+struct SimThread {
+  int tid = 0;
+  HwSlot slot;
+  bool pinned = true;
+  uint64_t clock = 0;  // cycles
+  Rng rng;
+  void* user = nullptr;
+  bool blocked = false;
+  bool started = false;
+  std::unique_ptr<Fiber> fiber;
+  Machine* machine = nullptr;
+  uint64_t next_migration_check = 0;
+
+  int socket() const { return slot.socket; }
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& cfg);
+  ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  const MachineConfig& cfg() const { return cfg_; }
+
+  // Create a simulated thread at the given slot, starting at `start_clock`.
+  // May be called before run() or from inside a running fiber (dynamic
+  // spawning, as paraheap-k does every iteration).
+  SimThread* spawn(std::function<void(SimThread&)> fn, HwSlot slot,
+                   bool pinned = true, uint64_t start_clock = 0);
+
+  // Run the event loop until every spawned fiber has finished.
+  void run();
+
+  // --- Called from inside a running fiber -------------------------------
+  SimThread& current();
+  bool running() const { return current_ != nullptr; }
+
+  // Charge raw cycles (memory latency; not scaled by the HT penalty).
+  void charge(SimThread& t, uint64_t cycles);
+  // Charge instruction work (scaled by the HT penalty when the core's
+  // sibling hyperthread is occupied).
+  void chargeWork(SimThread& t, uint64_t cycles);
+  // Yield if another runnable thread is now behind us in simulated time.
+  void maybeYield(SimThread& t);
+
+  // Block the current thread (removes it from the run queue) until another
+  // thread calls unblock(). Returns after being unblocked.
+  void blockCurrent();
+  // Make `t` runnable again, no earlier than simulated time `at`.
+  void unblock(SimThread& t, uint64_t at);
+
+  // Number of live threads currently placed on a core (drives HT penalty).
+  int occupancy(int core_global) const { return occupancy_[core_global]; }
+
+  // For unpinned threads: possibly migrate to the least-loaded core. Called
+  // periodically by the access layer. Returns true if the thread moved.
+  bool maybeMigrate(SimThread& t);
+
+  uint64_t migrationCount() const { return migrations_; }
+  // Largest clock any finished thread reached: the simulated makespan.
+  uint64_t maxFinishClock() const { return max_finish_clock_; }
+  // Live threads per socket (used by tests and the OS-placement model).
+  int socketLoad(int socket) const;
+
+ private:
+  struct Entry {
+    uint64_t clock;
+    uint64_t seq;
+    SimThread* t;
+    bool operator>(const Entry& o) const {
+      if (clock != o.clock) return clock > o.clock;
+      return seq > o.seq;
+    }
+  };
+
+  void enqueue(SimThread* t);
+  uint64_t nextRunnableClock() const;
+  void finishThread(SimThread& t);
+
+  MachineConfig cfg_;
+  std::vector<std::unique_ptr<SimThread>> threads_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::vector<int> occupancy_;
+  SimThread* current_ = nullptr;
+  uint64_t seq_ = 0;
+  uint64_t next_wake_cache_ = UINT64_MAX;
+  uint64_t migrations_ = 0;
+  uint64_t max_finish_clock_ = 0;
+  uint64_t migration_interval_;
+};
+
+}  // namespace natle::sim

@@ -1,0 +1,75 @@
+// Minimal inline-storage vector for hot simulator paths (per-line reader
+// lists, transaction footprints). Only the operations the simulator needs.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+namespace natle::sim {
+
+template <typename T, size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  SmallVec() = default;
+  SmallVec(const SmallVec&) = delete;
+  SmallVec& operator=(const SmallVec&) = delete;
+
+  void push_back(T v) {
+    if (size_ < N) {
+      inline_[size_++] = v;
+    } else {
+      overflow_.push_back(v);
+      ++size_;
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T operator[](size_t i) const {
+    return i < N ? inline_[i] : overflow_[i - N];
+  }
+
+  // Remove the first occurrence of v (order not preserved). Returns true if
+  // found.
+  bool erase_unordered(T v) {
+    for (size_t i = 0; i < size_; ++i) {
+      if ((*this)[i] == v) {
+        T last = (*this)[size_ - 1];
+        if (i < N) {
+          inline_[i] = last;
+        } else {
+          overflow_[i - N] = last;
+        }
+        if (size_ > N) overflow_.pop_back();
+        --size_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool contains(T v) const {
+    for (size_t i = 0; i < size_; ++i) {
+      if ((*this)[i] == v) return true;
+    }
+    return false;
+  }
+
+  void clear() {
+    size_ = 0;
+    overflow_.clear();
+  }
+
+ private:
+  T inline_[N];
+  size_t size_ = 0;
+  std::vector<T> overflow_;
+};
+
+}  // namespace natle::sim

@@ -1,0 +1,43 @@
+#include "sim/topology.hpp"
+
+#include <cassert>
+
+namespace natle::sim {
+
+HwSlot placeThread(const MachineConfig& cfg, PinPolicy policy, int index) {
+  assert(index >= 0 && index < cfg.totalThreads());
+  const int per_socket = cfg.cores_per_socket * cfg.threads_per_core;
+  HwSlot s;
+  switch (policy) {
+    case PinPolicy::kFillSocketFirst: {
+      s.socket = index / per_socket;
+      const int r = index % per_socket;
+      s.ht = r / cfg.cores_per_socket;
+      const int core_in_socket = r % cfg.cores_per_socket;
+      s.core_global = s.socket * cfg.cores_per_socket + core_in_socket;
+      break;
+    }
+    case PinPolicy::kAlternateSockets:
+    case PinPolicy::kUnpinned: {
+      s.socket = index % cfg.sockets;
+      const int j = index / cfg.sockets;  // rank within the socket
+      s.ht = j / cfg.cores_per_socket;
+      const int core_in_socket = j % cfg.cores_per_socket;
+      s.core_global = s.socket * cfg.cores_per_socket + core_in_socket;
+      break;
+    }
+  }
+  assert(s.ht < cfg.threads_per_core);
+  return s;
+}
+
+const char* toString(PinPolicy p) {
+  switch (p) {
+    case PinPolicy::kFillSocketFirst: return "fill-socket-first";
+    case PinPolicy::kAlternateSockets: return "alternate-sockets";
+    case PinPolicy::kUnpinned: return "unpinned";
+  }
+  return "?";
+}
+
+}  // namespace natle::sim

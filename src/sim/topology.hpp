@@ -1,0 +1,37 @@
+// Hardware-thread placement: the paper's pinning policies (Section 3 and
+// Figure 15) plus an "unpinned" mode that emulates the Linux scheduler's
+// tendency to spread load evenly across sockets.
+#pragma once
+
+#include "sim/config.hpp"
+#include "sim/rng.hpp"
+
+namespace natle::sim {
+
+// A hardware slot a simulated thread occupies.
+struct HwSlot {
+  int socket = 0;
+  int core_global = 0;  // index in [0, sockets * cores_per_socket)
+  int ht = 0;           // hyperthread slot within the core
+};
+
+enum class PinPolicy {
+  // Paper default: fill socket 0's cores, then socket 0's hyperthreads, then
+  // socket 1's cores, then socket 1's hyperthreads.
+  kFillSocketFirst,
+  // Figure 15 (left): even threads on socket 0, odd threads on socket 1,
+  // filling cores before hyperthreads within each socket.
+  kAlternateSockets,
+  // Figure 15 (right): no pinning; the machine's scheduler model places the
+  // thread on the least-loaded core and may migrate it during the run.
+  kUnpinned,
+};
+
+// Initial slot for thread `index` out of `nthreads` under the given policy.
+// For kUnpinned the slot mirrors kAlternateSockets (the balanced placement
+// the Linux scheduler converges to); migration noise is added by the Machine.
+HwSlot placeThread(const MachineConfig& cfg, PinPolicy policy, int index);
+
+const char* toString(PinPolicy p);
+
+}  // namespace natle::sim

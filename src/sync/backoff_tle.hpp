@@ -1,0 +1,66 @@
+// The paper's first rejected alternative (Section 4.1): keep plain TLE, but
+// make threads on the remote socket back off before retrying an aborted
+// transaction. The paper found performance only improved "when the backoff
+// was so long that the second socket was almost completely starved" — and
+// starving it forfeits workloads that do scale across sockets. The ablation
+// bench reproduces that trade-off by sweeping the backoff length.
+#pragma once
+
+#include "sync/tle.hpp"
+
+namespace natle::sync {
+
+class BackoffTleLock {
+ public:
+  // remote_backoff: cycles a thread *not* on preferred_socket waits after
+  // each abort before retrying (scaled by attempt count, capped).
+  BackoffTleLock(htm::Env& env, uint64_t remote_backoff,
+                 TlePolicy policy = TlePolicy{}, int preferred_socket = 0)
+      : lock_(env),
+        policy_(policy),
+        remote_backoff_(remote_backoff),
+        preferred_socket_(preferred_socket) {}
+
+  template <typename F>
+  void execute(htm::ThreadCtx& ctx, F&& cs) {
+    ctx.resetAttemptSeq();
+    volatile int attempts = 0;
+    const bool remote = ctx.socket() != preferred_socket_;
+    for (;;) {
+      lock_.waitWhileHeld(ctx);
+      unsigned status;
+      NATLE_TX_BEGIN(ctx, status);
+      if (status == htm::kTxStarted) {
+        if (lock_.read(ctx) != 0) ctx.txAbort(kLockHeldCode);
+        cs();
+        ctx.txCommit();
+        return;
+      }
+      const htm::AbortStatus a = htm::decodeStatus(status);
+      const bool lock_was_held = a.reason == htm::AbortReason::kExplicit &&
+                                 a.xabort_code == kLockHeldCode;
+      if (!lock_was_held) {
+        attempts = attempts + 1;
+        if (remote && remote_backoff_ > 0) {
+          uint64_t pause = remote_backoff_ * static_cast<uint64_t>(attempts);
+          if (pause > 64 * remote_backoff_) pause = 64 * remote_backoff_;
+          ctx.work(pause + ctx.rng().below(remote_backoff_ + 1));
+        }
+      }
+      if (attempts >= policy_.max_attempts) break;
+      ctx.work(ctx.rng().below(64));
+    }
+    lock_.lock(ctx);
+    if (ctx.nowCycles() >= ctx.env().statsStart()) ctx.stats().lock_acquires++;
+    cs();
+    lock_.unlock(ctx);
+  }
+
+ private:
+  TatasLock lock_;
+  TlePolicy policy_;
+  uint64_t remote_backoff_;
+  int preferred_socket_;
+};
+
+}  // namespace natle::sync

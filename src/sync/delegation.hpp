@@ -1,0 +1,111 @@
+// The paper's second rejected alternative (Section 4.1): delegation. Each
+// operation is shipped to the socket where its data lives (the paper split
+// the AVL key range in half), executed there by a server thread, with
+// client/server message passing over shared memory. The paper measured that
+// raw delegation's coordination overhead outweighs its locality benefit, and
+// that batching multiple operations into one critical section claws some of
+// it back — this implementation exposes the batch size to reproduce both.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "htm/env.hpp"
+#include "sync/tle.hpp"
+
+namespace natle::sync {
+
+// A delegation fabric for an arbitrary set: clients post (op, key) requests
+// into per-client mailboxes; one server per socket drains the mailboxes
+// targeted at it and executes the operations (under the elided lock, in
+// batches).
+class DelegationFabric {
+ public:
+  enum Op : int64_t { kInsert = 1, kErase = 2, kContains = 3 };
+
+  // op executor: (ctx, op, key) -> result
+  using Executor = std::function<int64_t(htm::ThreadCtx&, int64_t, int64_t)>;
+
+  DelegationFabric(htm::Env& env, TleLock& lock, int nclients, int nsockets,
+                   int64_t key_split, int batch)
+      : lock_(lock),
+        nclients_(nclients),
+        nsockets_(nsockets),
+        key_split_(key_split),
+        batch_(batch) {
+    slots_ = static_cast<Slot*>(
+        env.allocShared(static_cast<size_t>(nclients) * nsockets *
+                        sizeof(Slot)));
+    for (int i = 0; i < nclients * nsockets; ++i) {
+      slots_[i].status = kFree;
+    }
+    stop_ = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+    *stop_ = 0;
+  }
+
+  // Client side: execute (op, key) on the socket owning the key; blocks (in
+  // simulated time) until the server replies.
+  int64_t request(htm::ThreadCtx& ctx, int client, Op op, int64_t key) {
+    const int target = key < key_split_ ? 0 : nsockets_ - 1;
+    Slot& s = slots_[target * nclients_ + client];
+    ctx.store(s.op, static_cast<int64_t>(op));
+    ctx.store(s.key, key);
+    ctx.store(s.status, kPending);
+    while (ctx.load(s.status) != kDone) ctx.work(80);
+    const int64_t r = ctx.load(s.result);
+    ctx.store(s.status, kFree);
+    return r;
+  }
+
+  // Server side: drain requests for `socket` until stop(). Executes up to
+  // `batch_` pending operations inside one critical section.
+  void serve(htm::ThreadCtx& ctx, int socket, const Executor& exec) {
+    std::vector<Slot*> pending;
+    pending.reserve(static_cast<size_t>(batch_));
+    while (ctx.load(*stop_) == 0) {
+      pending.clear();
+      for (int c = 0; c < nclients_ && static_cast<int>(pending.size()) < batch_;
+           ++c) {
+        Slot& s = slots_[socket * nclients_ + c];
+        if (ctx.load(s.status) == kPending) pending.push_back(&s);
+      }
+      if (pending.empty()) {
+        ctx.work(200);
+        continue;
+      }
+      lock_.execute(ctx, [&] {
+        for (Slot* s : pending) {
+          const int64_t r = exec(ctx, ctx.load(s->op), ctx.load(s->key));
+          ctx.store(s->result, r);
+        }
+      });
+      // Replies go out after the batch commits.
+      for (Slot* s : pending) ctx.store(s->status, kDone);
+    }
+  }
+
+  void stop(htm::ThreadCtx& ctx) { ctx.store(*stop_, int64_t{1}); }
+
+ private:
+  static constexpr int64_t kFree = 0;
+  static constexpr int64_t kPending = 1;
+  static constexpr int64_t kDone = 2;
+
+  struct alignas(64) Slot {
+    int64_t status;
+    int64_t op;
+    int64_t key;
+    int64_t result;
+  };
+
+  TleLock& lock_;
+  Slot* slots_;
+  int64_t* stop_;
+  int nclients_;
+  int nsockets_;
+  int64_t key_split_;
+  int batch_;
+};
+
+}  // namespace natle::sync

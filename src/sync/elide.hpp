@@ -1,0 +1,40 @@
+// Runtime-selectable elision lock: applications pick TLE or NATLE per run
+// (the paper's evaluation compares the two on identical binaries, switching
+// the lock library underneath).
+#pragma once
+
+#include <memory>
+
+#include "sync/natle.hpp"
+#include "sync/tle.hpp"
+
+namespace natle::sync {
+
+class ElisionLock {
+ public:
+  ElisionLock(htm::Env& env, bool use_natle, TlePolicy pol = TlePolicy{},
+              NatleConfig ncfg = NatleConfig{}) {
+    if (use_natle) {
+      natle_ = std::make_unique<NatleLock>(env, pol, ncfg);
+    } else {
+      tle_ = std::make_unique<TleLock>(env, pol);
+    }
+  }
+
+  template <typename F>
+  void execute(htm::ThreadCtx& ctx, F&& cs) {
+    if (natle_ != nullptr) {
+      natle_->execute(ctx, std::forward<F>(cs));
+    } else {
+      tle_->execute(ctx, std::forward<F>(cs));
+    }
+  }
+
+  NatleLock* natle() { return natle_.get(); }
+
+ private:
+  std::unique_ptr<TleLock> tle_;
+  std::unique_ptr<NatleLock> natle_;
+};
+
+}  // namespace natle::sync

@@ -1,0 +1,47 @@
+// Test-and-test-and-set spin lock living on a simulated cache line — the
+// fallback lock the paper's TLE implementation uses. Because the lock word
+// goes through the coherence model, lock handoffs across sockets cost a
+// remote transfer and transactional subscribers abort when it is acquired.
+#pragma once
+
+#include "htm/env.hpp"
+
+namespace natle::sync {
+
+class TatasLock {
+ public:
+  explicit TatasLock(htm::Env& env) {
+    word_ = static_cast<uint64_t*>(env.allocShared(sizeof(uint64_t)));
+    *word_ = 0;
+  }
+
+  // Read the lock word (transactionally subscribes when inside a tx).
+  uint64_t read(htm::ThreadCtx& ctx) { return ctx.load(*word_); }
+
+  bool tryLock(htm::ThreadCtx& ctx) {
+    return ctx.load(*word_) == 0 &&
+           ctx.cas(*word_, uint64_t{0}, uint64_t{1});
+  }
+
+  void lock(htm::ThreadCtx& ctx) {
+    for (;;) {
+      if (tryLock(ctx)) return;
+      ctx.work(kSpinPause);
+    }
+  }
+
+  void unlock(htm::ThreadCtx& ctx) { ctx.store(*word_, uint64_t{0}); }
+
+  uint64_t lineId() const { return mem::lineOf(word_); }
+
+  // Spin (outside any transaction) until the lock is observed free.
+  void waitWhileHeld(htm::ThreadCtx& ctx) {
+    while (ctx.load(*word_) != 0) ctx.work(kSpinPause);
+  }
+
+ private:
+  static constexpr uint32_t kSpinPause = 60;
+  uint64_t* word_;
+};
+
+}  // namespace natle::sync

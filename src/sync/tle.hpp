@@ -1,0 +1,121 @@
+// Transactional lock elision (Dice et al., ASPLOS 2009), with the retry
+// policies the paper compares in Section 3.1:
+//
+//   TLE-20            — 20 attempts, ignore the hint bit, lock-held waits
+//                       are not counted (anti-lemming). The paper's default.
+//   TLE-5             — same with 5 attempts.
+//   TLE-{5,20}-hint-bit   — fall back to the lock immediately when an abort
+//                       reports the hint bit clear.
+//   TLE-{5,20}-count-lock — attempts that found the lock held count toward
+//                       the retry budget (no anti-lemming optimization).
+//
+// The critical section runs as a callable inside execute(): a software
+// abort must unwind to a frame that is still live, so acquire/release cannot
+// be split across the caller (real RTM resurrects the register state; a
+// simulator cannot). Critical-section code must perform all shared accesses
+// through the ThreadCtx and must be safe to re-execute from the top.
+#pragma once
+
+#include <cstdio>
+
+#include "htm/env.hpp"
+#include "sync/tatas.hpp"
+
+namespace natle::sync {
+
+// Explicit-abort code used when a transaction observes the lock held.
+constexpr uint8_t kLockHeldCode = 0xfe;
+
+struct TlePolicy {
+  int max_attempts = 20;
+  bool respect_hint_bit = false;  // fall back on the first hint-clear abort
+  bool count_lock_held = false;   // count lock-held aborts toward attempts
+  uint64_t precommit_delay = 0;   // Fig. 6: work() cycles injected before commit
+};
+
+inline TlePolicy Tle20() { return TlePolicy{}; }
+inline TlePolicy Tle5() { return TlePolicy{.max_attempts = 5}; }
+inline TlePolicy Tle20HintBit() { return TlePolicy{.respect_hint_bit = true}; }
+inline TlePolicy Tle5HintBit() {
+  return TlePolicy{.max_attempts = 5, .respect_hint_bit = true};
+}
+inline TlePolicy Tle20CountLock() { return TlePolicy{.count_lock_held = true}; }
+inline TlePolicy Tle5CountLock() {
+  return TlePolicy{.max_attempts = 5, .count_lock_held = true};
+}
+
+class TleLock {
+ public:
+  TleLock(htm::Env& env, TlePolicy policy = TlePolicy{})
+      : lock_(env), policy_(policy) {}
+
+  // Run `cs` as a critical section protected by this lock, eliding the lock
+  // with a hardware transaction when possible.
+  template <typename F>
+  void execute(htm::ThreadCtx& ctx, F&& cs) {
+    ctx.resetAttemptSeq();
+    // `attempts` changes between setjmp and a longjmp landing: volatile.
+    volatile int attempts = 0;
+    for (;;) {
+      // Anti-lemming: never start (or restart) a transaction while the lock
+      // is held; wait for the release.
+      lock_.waitWhileHeld(ctx);
+      unsigned status;
+      NATLE_TX_BEGIN(ctx, status);
+      if (status == htm::kTxStarted) {
+        if (lock_.read(ctx) != 0) ctx.txAbort(kLockHeldCode);  // subscribe
+        cs();
+        if (policy_.precommit_delay != 0) ctx.work(policy_.precommit_delay);
+        ctx.txCommit();
+        return;
+      }
+      const htm::AbortStatus a = htm::decodeStatus(status);
+      const bool lock_was_held = a.reason == htm::AbortReason::kExplicit &&
+                                 a.xabort_code == kLockHeldCode;
+      if (lock_was_held) {
+        if (policy_.count_lock_held) attempts = attempts + 1;
+      } else {
+        attempts = attempts + 1;
+        if (policy_.respect_hint_bit && !a.may_retry) break;
+      }
+      if (attempts >= policy_.max_attempts) break;
+      // Small jitter before retrying: abort handling has variable latency on
+      // real hardware; without it, symmetric transactions can mutually abort
+      // in lockstep forever in a deterministic simulation.
+      ctx.work(ctx.rng().below(64));
+    }
+    // Fallback: take the lock for real.
+    lock_.lock(ctx);
+#ifdef NATLE_DEBUG_EXCLUSIVE_FALLBACK
+    ctx.env().debugDumpInFlight(lock_.lineId());
+    ++dbg_fallback_active;
+    if (++dbg_fallback_depth_ != 1) {
+      std::fprintf(stderr, "DOUBLE FALLBACK! tid=%d t=%llu depth=%d\n", ctx.tid(),
+                   (unsigned long long)ctx.nowCycles(), dbg_fallback_depth_);
+      std::abort();
+    }
+#endif
+    if (ctx.nowCycles() >= ctx.env().statsStart()) ctx.stats().lock_acquires++;
+    cs();
+#ifdef NATLE_DEBUG_EXCLUSIVE_FALLBACK
+    --dbg_fallback_depth_;
+    --dbg_fallback_active;
+#endif
+    lock_.unlock(ctx);
+  }
+
+  TatasLock& fallbackLock() { return lock_; }
+  const TlePolicy& policy() const { return policy_; }
+
+ private:
+  TatasLock lock_;
+  TlePolicy policy_;
+#ifdef NATLE_DEBUG_EXCLUSIVE_FALLBACK
+  int dbg_fallback_depth_ = 0;
+ public:
+  static inline int dbg_fallback_active = 0;  // across all locks
+ private:
+#endif
+};
+
+}  // namespace natle::sync

@@ -1,0 +1,48 @@
+// Shared command-line/environment handling for bench binaries.
+//
+// Every bench runs standalone with fast defaults; `--full` lengthens trials
+// and densifies the thread axis, and NATLE_SIM_SCALE=<float> scales the
+// simulated measurement window (e.g. 0.25 for a quick smoke run).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace natle::workload {
+
+struct BenchOptions {
+  bool full = false;
+  double time_scale = 1.0;
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions o;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) o.full = true;
+    }
+    if (const char* s = std::getenv("NATLE_SIM_SCALE")) {
+      const double v = std::atof(s);
+      if (v > 0) o.time_scale = v;
+    }
+    return o;
+  }
+};
+
+// CSV row emitter: benches print `series,x,y[,extra]` so EXPERIMENTS.md and
+// plotting scripts can consume the output uniformly.
+inline void emitHeader(const char* bench, const char* extra_cols = nullptr) {
+  std::printf("# bench=%s\n", bench);
+  std::printf("series,x,y%s%s\n", extra_cols != nullptr ? "," : "",
+              extra_cols != nullptr ? extra_cols : "");
+}
+
+inline void emitRow(const std::string& series, double x, double y) {
+  std::printf("%s,%g,%g\n", series.c_str(), x, y);
+}
+
+inline void emitRow4(const std::string& series, double x, double y, double z) {
+  std::printf("%s,%g,%g,%g\n", series.c_str(), x, y, z);
+}
+
+}  // namespace natle::workload

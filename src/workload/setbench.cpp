@@ -1,0 +1,210 @@
+#include "workload/setbench.hpp"
+
+#include <memory>
+
+#include "ds/avl.hpp"
+#include "ds/bst_internal.hpp"
+#include "ds/bst_leaf.hpp"
+#include "ds/skiplist.hpp"
+#include "htm/env.hpp"
+
+namespace natle::workload {
+
+const char* toString(DsKind d) {
+  switch (d) {
+    case DsKind::kAvl: return "avl";
+    case DsKind::kLeafBst: return "leaf-bst";
+    case DsKind::kInternalBst: return "internal-bst";
+    case DsKind::kSkipList: return "skiplist";
+  }
+  return "?";
+}
+
+const char* toString(SyncKind s) {
+  switch (s) {
+    case SyncKind::kTle: return "tle";
+    case SyncKind::kNatle: return "natle";
+    case SyncKind::kNone: return "nosync";
+  }
+  return "?";
+}
+
+namespace {
+
+// Type-erased set facade so one worker loop serves all four structures.
+struct AnySet {
+  virtual ~AnySet() = default;
+  virtual bool contains(htm::ThreadCtx& c, int64_t k) = 0;
+  virtual bool insert(htm::ThreadCtx& c, int64_t k) = 0;
+  virtual bool erase(htm::ThreadCtx& c, int64_t k) = 0;
+  virtual void searchReplace(htm::ThreadCtx& c, int64_t k) = 0;
+};
+
+template <typename S>
+struct SetOf : AnySet {
+  explicit SetOf(htm::Env& env) : s(env) {}
+  bool contains(htm::ThreadCtx& c, int64_t k) override { return s.contains(c, k); }
+  bool insert(htm::ThreadCtx& c, int64_t k) override { return s.insert(c, k); }
+  bool erase(htm::ThreadCtx& c, int64_t k) override { return s.erase(c, k); }
+  void searchReplace(htm::ThreadCtx& c, int64_t k) override {
+    if constexpr (std::is_same_v<S, ds::AvlTree>) {
+      s.searchReplace(c, k);
+    } else {
+      s.contains(c, k);
+    }
+  }
+  S s;
+};
+
+std::unique_ptr<AnySet> makeSet(DsKind kind, htm::Env& env) {
+  switch (kind) {
+    case DsKind::kAvl: return std::make_unique<SetOf<ds::AvlTree>>(env);
+    case DsKind::kLeafBst: return std::make_unique<SetOf<ds::LeafBst>>(env);
+    case DsKind::kInternalBst:
+      return std::make_unique<SetOf<ds::InternalBst>>(env);
+    case DsKind::kSkipList: return std::make_unique<SetOf<ds::SkipList>>(env);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+SetBenchResult runSetBench(const SetBenchConfig& cfg) {
+  SetBenchResult agg;
+  double mops_sum = 0;
+  for (int trial = 0; trial < cfg.trials; ++trial) {
+    sim::MachineConfig mc = cfg.machine;
+    mc.seed = cfg.seed + 1000003ULL * static_cast<uint64_t>(trial);
+    htm::Env env(mc);
+    auto set = makeSet(cfg.ds, env);
+
+    // Prefill to ~half of the key range in random order, as the paper does
+    // (random prefill also decorrelates node addresses from key order, which
+    // otherwise makes search paths collide in one L1 set).
+    {
+      auto& sc = env.setupCtx();
+      sim::Rng pre(mc.seed ^ 0xabcdef);
+      std::vector<int64_t> keys(cfg.key_range);
+      for (int64_t k = 0; k < cfg.key_range; ++k) keys[k] = k;
+      for (size_t i = keys.size(); i > 1; --i) {
+        std::swap(keys[i - 1], keys[pre.below(i)]);
+      }
+      for (size_t i = 0; i < keys.size() / 2; ++i) set->insert(sc, keys[i]);
+    }
+
+    sync::TleLock* tle = nullptr;
+    sync::NatleLock* natle = nullptr;
+    if (cfg.sync == SyncKind::kTle) {
+      tle = new sync::TleLock(env, cfg.tle);
+    } else if (cfg.sync == SyncKind::kNatle) {
+      natle = new sync::NatleLock(env, cfg.tle, cfg.natle);
+      natle->setActiveRows(cfg.nthreads < 128 ? 128 : cfg.nthreads);
+    }
+
+    const uint64_t t_end = mc.msToCycles(cfg.warmup_ms + cfg.measure_ms);
+    env.setStatsStart(mc.msToCycles(cfg.warmup_ms));
+
+    for (int i = 0; i < cfg.nthreads; ++i) {
+      const sim::HwSlot slot = sim::placeThread(mc, cfg.pin, i);
+      const bool pinned = cfg.pin != sim::PinPolicy::kUnpinned;
+      env.spawnWorker(
+          [&, t_end](htm::ThreadCtx& ctx) {
+            auto& rng = ctx.rng();
+            while (ctx.nowCycles() < t_end) {
+              ctx.opBoundary();
+              const int64_t key =
+                  static_cast<int64_t>(rng.below(static_cast<uint64_t>(cfg.key_range)));
+              const bool count = ctx.nowCycles() >= ctx.env().statsStart();
+              if (cfg.search_replace) {
+                if (cfg.sync == SyncKind::kNone) {
+                  set->searchReplace(ctx, key);
+                } else if (tle != nullptr) {
+                  tle->execute(ctx, [&] { set->searchReplace(ctx, key); });
+                } else {
+                  natle->execute(ctx, [&] { set->searchReplace(ctx, key); });
+                }
+              } else {
+                const bool is_update =
+                    rng.below(100) < static_cast<uint64_t>(cfg.update_pct);
+                const bool is_insert = (rng.next() & 1) != 0;
+                auto op = [&] {
+                  if (!is_update) {
+                    set->contains(ctx, key);
+                  } else if (is_insert) {
+                    set->insert(ctx, key);
+                  } else {
+                    set->erase(ctx, key);
+                  }
+                };
+                if (cfg.sync == SyncKind::kNone) {
+                  op();
+                } else if (tle != nullptr) {
+                  tle->execute(ctx, op);
+                } else {
+                  natle->execute(ctx, op);
+                }
+              }
+              if (count) ctx.stats().ops++;
+              // Per-operation harness overhead: key generation, dispatch and
+              // the lock-library call in a real benchmark loop.
+              ctx.work(cfg.op_overhead_cycles);
+              if (cfg.ext.max_units > 0) {
+                ctx.work(rng.below(cfg.ext.max_units) * cfg.ext.cycles_per_unit);
+              }
+            }
+          },
+          slot, pinned);
+    }
+    env.run();
+
+    const htm::TxStats t = env.totals();
+    agg.stats += t;
+    mops_sum += static_cast<double>(t.ops) /
+                (cfg.measure_ms * 1e-3) / 1e6;
+    if (natle != nullptr) {
+      agg.natle_history = natle->history();
+      delete natle;
+    }
+    delete tle;
+  }
+  agg.mops = mops_sum / cfg.trials;
+  const auto& s = agg.stats;
+  const uint64_t aborts = s.totalAborts();
+  agg.abort_rate =
+      s.tx_begins > 0 ? static_cast<double>(aborts) / static_cast<double>(s.tx_begins) : 0;
+  agg.conflict_abort_fraction =
+      aborts > 0 ? static_cast<double>(
+                       s.tx_aborts[static_cast<int>(htm::AbortReason::kConflict)]) /
+                       static_cast<double>(aborts)
+                 : 0;
+  agg.hintclear_commit_pct =
+      s.tx_commits > 0
+          ? 100.0 * static_cast<double>(s.commits_after_hintclear_fail) /
+                static_cast<double>(s.tx_commits)
+          : 0;
+  return agg;
+}
+
+std::vector<int> threadAxis(const sim::MachineConfig& m, bool full) {
+  const int total = m.totalThreads();
+  std::vector<int> axis;
+  if (total <= 8) {
+    for (int i = 1; i <= total; ++i) axis.push_back(i);
+    return axis;
+  }
+  if (full) {
+    for (int i = 1; i <= total; ++i) axis.push_back(i);
+    return axis;
+  }
+  // Dense where the paper's action is: around socket boundaries.
+  const int half = total / 2;
+  for (int i : {1, 2, 4, 8, 12, 18, 24, 30, half - 2, half, half + 1, half + 2,
+                half + 4, half + 8, half + 12, half + 18, total - 9, total}) {
+    if (i >= 1 && i <= total && (axis.empty() || i > axis.back())) {
+      axis.push_back(i);
+    }
+  }
+  return axis;
+}
+
+}  // namespace natle::workload

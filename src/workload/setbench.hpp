@@ -1,0 +1,68 @@
+// The paper's set-microbenchmark driver (Sections 3 and 5.1): threads
+// repeatedly invoke insert/delete/lookup with uniformly random keys on a
+// structure prefilled to half its key range, protected by one lock that is
+// elided with TLE or NATLE (or, for the Figure 4 baseline, not synchronized
+// at all), optionally doing random "external work" between operations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "htm/stats.hpp"
+#include "sim/config.hpp"
+#include "sim/topology.hpp"
+#include "sync/natle.hpp"
+#include "sync/tle.hpp"
+
+namespace natle::workload {
+
+enum class DsKind { kAvl, kLeafBst, kInternalBst, kSkipList };
+enum class SyncKind { kTle, kNatle, kNone };
+
+const char* toString(DsKind d);
+const char* toString(SyncKind s);
+
+// Random external work between operations: `units` is drawn uniformly from
+// [0, max_units) and each unit burns cycles_per_unit cycles off-structure.
+struct ExtWork {
+  uint32_t max_units = 0;
+  uint32_t cycles_per_unit = 12;
+};
+
+struct SetBenchConfig {
+  sim::MachineConfig machine = sim::LargeMachine();
+  int nthreads = 1;
+  int64_t key_range = 2048;
+  int update_pct = 100;  // updates split evenly insert/delete; rest lookups
+  bool search_replace = false;  // Figure 4 workload
+  DsKind ds = DsKind::kAvl;
+  SyncKind sync = SyncKind::kTle;
+  sync::TlePolicy tle;
+  sync::NatleConfig natle;
+  sim::PinPolicy pin = sim::PinPolicy::kFillSocketFirst;
+  double warmup_ms = 1.0;   // simulated; stats excluded
+  double measure_ms = 3.0;  // simulated measurement window
+  int trials = 1;
+  ExtWork ext;
+  // Fixed harness overhead between operations (PRNG, dispatch, call
+  // overhead); roughly 60ns at 2.3 GHz, matching a real benchmark loop.
+  uint64_t op_overhead_cycles = 140;
+  uint64_t seed = 1;
+};
+
+struct SetBenchResult {
+  double mops = 0;  // committed operations per simulated second, millions
+  htm::TxStats stats;
+  double abort_rate = 0;               // aborts / tx begins
+  double conflict_abort_fraction = 0;  // conflict aborts / all aborts
+  double hintclear_commit_pct = 0;     // Figure 2(b) statistic
+  std::vector<sync::NatleCycleDecision> natle_history;
+};
+
+SetBenchResult runSetBench(const SetBenchConfig& cfg);
+
+// Thread counts matching the paper's x axes (1..72 for the large machine,
+// 1..8 for the small one), subsampled to keep bench runtimes reasonable.
+std::vector<int> threadAxis(const sim::MachineConfig& m, bool full);
+
+}  // namespace natle::workload

@@ -1,0 +1,157 @@
+// Tests for the Section 4.1 alternative mechanisms: the backoff TLE lock
+// and the delegation fabric.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ds/avl.hpp"
+#include "sync/backoff_tle.hpp"
+#include "sync/delegation.hpp"
+
+using namespace natle;
+using namespace natle::htm;
+
+namespace {
+
+sim::HwSlot slotFor(const sim::MachineConfig& cfg, int i) {
+  return sim::placeThread(cfg, sim::PinPolicy::kFillSocketFirst, i);
+}
+
+}  // namespace
+
+TEST(BackoffTle, CounterIsExactAcrossSockets) {
+  sim::MachineConfig mc = sim::LargeMachine();
+  Env env(mc);
+  sync::BackoffTleLock lock(env, /*remote_backoff=*/2000);
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *x = 0;
+  for (int i : {0, 1, 2, 40, 41, 42}) {  // both sockets
+    env.spawnWorker(
+        [&](ThreadCtx& ctx) {
+          for (int r = 0; r < 40; ++r) {
+            lock.execute(ctx, [&] { ctx.store(*x, ctx.load(*x) + 1); });
+            ctx.work(200);
+          }
+        },
+        slotFor(mc, i));
+  }
+  env.run();
+  EXPECT_EQ(*x, 6 * 40);
+}
+
+TEST(BackoffTle, RemoteThreadsRetireFewerOpsUnderContention) {
+  // With a long remote backoff, socket-1 threads should complete far fewer
+  // operations per unit time than socket-0 threads on a contended counter.
+  sim::MachineConfig mc = sim::LargeMachine();
+  Env env(mc);
+  sync::BackoffTleLock lock(env, /*remote_backoff=*/60000);
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *x = 0;
+  const uint64_t t_end = mc.msToCycles(0.8);
+  uint64_t local_ops = 0;
+  uint64_t remote_ops = 0;
+  for (int i : {0, 1, 40, 41}) {
+    env.spawnWorker(
+        [&, i, t_end](ThreadCtx& ctx) {
+          uint64_t n = 0;
+          while (ctx.nowCycles() < t_end) {
+            lock.execute(ctx, [&] {
+              ctx.store(*x, ctx.load(*x) + 1);
+              ctx.work(300);
+            });
+            ++n;
+          }
+          (i < 36 ? local_ops : remote_ops) += n;
+        },
+        slotFor(mc, i));
+  }
+  env.run();
+  EXPECT_GT(local_ops, 2 * remote_ops)
+      << "starvation of the backed-off socket (the paper's observation)";
+}
+
+TEST(Delegation, ExecutesOperationsCorrectly) {
+  sim::MachineConfig mc = sim::LargeMachine();
+  Env env(mc);
+  ds::AvlTree tree(env);
+  sync::TleLock lock(env);
+  constexpr int kClients = 4;
+  constexpr int64_t kRange = 64;
+  sync::DelegationFabric fabric(env, lock, kClients, mc.sockets, kRange / 2,
+                                /*batch=*/4);
+  auto exec = [&](ThreadCtx& ctx, int64_t op, int64_t key) -> int64_t {
+    switch (op) {
+      case sync::DelegationFabric::kInsert: return tree.insert(ctx, key);
+      case sync::DelegationFabric::kErase: return tree.erase(ctx, key);
+      default: return tree.contains(ctx, key);
+    }
+  };
+  for (int s = 0; s < mc.sockets; ++s) {
+    env.spawnWorker([&, s](ThreadCtx& ctx) { fabric.serve(ctx, s, exec); },
+                    slotFor(mc, s * 36));
+  }
+  auto* finished = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *finished = 0;
+  std::vector<int64_t> net(kRange, 0);
+  for (int c = 0; c < kClients; ++c) {
+    env.spawnWorker(
+        [&, c](ThreadCtx& ctx) {
+          auto& rng = ctx.rng();
+          for (int r = 0; r < 60; ++r) {
+            const int64_t k = static_cast<int64_t>(rng.below(kRange));
+            const bool ins = (rng.next() & 1) != 0;
+            const int64_t ok = fabric.request(
+                ctx, c,
+                ins ? sync::DelegationFabric::kInsert
+                    : sync::DelegationFabric::kErase,
+                k);
+            if (ok != 0) net[k] += ins ? 1 : -1;
+          }
+          if (ctx.fetchAdd(*finished, int64_t{1}) + 1 == kClients) {
+            fabric.stop(ctx);
+          }
+        },
+        slotFor(mc, 1 + c));
+  }
+  env.run();
+  auto& sc = env.setupCtx();
+  ASSERT_TRUE(tree.validate(sc));
+  for (int64_t k = 0; k < kRange; ++k) {
+    EXPECT_EQ(net[k], tree.contains(sc, k) ? 1 : 0) << "key " << k;
+  }
+}
+
+TEST(Delegation, RoutesByKeyRange) {
+  // Keys below the split must be served by server 0, the rest by server 1.
+  // The executor encodes the serving socket into the (transactional) result
+  // — critical sections may be re-executed, so the identity must travel
+  // through rollback-safe state, not raw captures.
+  sim::MachineConfig mc = sim::LargeMachine();
+  Env env(mc);
+  sync::TleLock lock(env);
+  sync::DelegationFabric fabric(env, lock, 1, mc.sockets, 100, 1);
+  int64_t reply_for_low = -1;
+  int64_t reply_for_high = -1;
+  for (int s = 0; s < mc.sockets; ++s) {
+    env.spawnWorker(
+        [&, s](ThreadCtx& ctx) {
+          fabric.serve(ctx, s,
+                       [s](ThreadCtx&, int64_t, int64_t) -> int64_t {
+                         return 1000 + s;  // which server executed this
+                       });
+        },
+        slotFor(mc, s * 36));
+  }
+  env.spawnWorker(
+      [&](ThreadCtx& ctx) {
+        reply_for_low =
+            fabric.request(ctx, 0, sync::DelegationFabric::kContains, 5);
+        reply_for_high =
+            fabric.request(ctx, 0, sync::DelegationFabric::kContains, 150);
+        fabric.stop(ctx);
+      },
+      slotFor(mc, 1));
+  env.run();
+  EXPECT_EQ(reply_for_low, 1000);   // key 5 -> server on socket 0
+  EXPECT_EQ(reply_for_high, 1001);  // key 150 -> server on socket 1
+}

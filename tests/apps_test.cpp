@@ -1,0 +1,166 @@
+// Application smoke and property tests: every STAMP kernel, the assembler
+// and paraheap-k must run to completion under TLE and NATLE, produce
+// plausible runtimes (more threads != slower within a socket), and be
+// deterministic for a fixed seed.
+#include <gtest/gtest.h>
+
+#include "apps/cctsa/cctsa.hpp"
+#include "apps/paraheapk/paraheapk.hpp"
+#include "apps/stamp/stamp.hpp"
+#include "sim/barrier.hpp"
+#include "sim/machine.hpp"
+
+using namespace natle;
+using namespace natle::apps;
+
+namespace {
+
+struct KernelParam {
+  const char* name;
+  stamp::KernelFn fn;
+};
+
+class StampKernels : public ::testing::TestWithParam<KernelParam> {};
+
+}  // namespace
+
+TEST_P(StampKernels, RunsUnderBothLocksAndScalesInSocket) {
+  const KernelParam p = GetParam();
+  stamp::StampConfig cfg;
+  cfg.scale = 0.12;
+  for (bool natle : {false, true}) {
+    cfg.natle = natle;
+    cfg.nthreads = 1;
+    const stamp::StampResult one = p.fn(cfg);
+    EXPECT_GT(one.sim_ms, 0.0);
+    EXPECT_GT(one.tx_commits, 0u);
+    cfg.nthreads = 12;
+    const stamp::StampResult twelve = p.fn(cfg);
+    EXPECT_LT(twelve.sim_ms, one.sim_ms)
+        << p.name << (natle ? "/natle" : "/tle")
+        << ": 12 threads should beat 1 within a socket";
+  }
+}
+
+TEST_P(StampKernels, StableWorkAcrossReruns) {
+  // Exact timing repeats only in a fresh process (cache-line identities come
+  // from real heap addresses), but the committed work is invariant: every
+  // critical section retires exactly once, via a transaction or the lock.
+  const KernelParam p = GetParam();
+  stamp::StampConfig cfg;
+  cfg.scale = 0.08;
+  cfg.nthreads = 8;
+  cfg.seed = 5;
+  const stamp::StampResult a = p.fn(cfg);
+  const stamp::StampResult b = p.fn(cfg);
+  EXPECT_EQ(a.tx_commits + a.lock_acquires, b.tx_commits + b.lock_acquires)
+      << p.name;
+  EXPECT_NEAR(a.sim_ms, b.sim_ms, 0.15 * a.sim_ms) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, StampKernels,
+    ::testing::Values(KernelParam{"genome", stamp::runGenome},
+                      KernelParam{"intruder", stamp::runIntruder},
+                      KernelParam{"kmeans_low", stamp::runKmeansLow},
+                      KernelParam{"kmeans_high", stamp::runKmeansHigh},
+                      KernelParam{"labyrinth", stamp::runLabyrinth},
+                      KernelParam{"ssca2", stamp::runSsca2},
+                      KernelParam{"vacation_low", stamp::runVacationLow},
+                      KernelParam{"vacation_high", stamp::runVacationHigh},
+                      KernelParam{"yada", stamp::runYada}),
+    [](const ::testing::TestParamInfo<KernelParam>& i) {
+      return std::string(i.param.name);
+    });
+
+TEST(Cctsa, IndexesKmersAndScales) {
+  cctsa::CctsaConfig cfg;
+  cfg.scale = 0.1;
+  cfg.nthreads = 1;
+  const cctsa::CctsaResult one = runCctsa(cfg);
+  EXPECT_GT(one.kmers_indexed, 100u);
+  cfg.nthreads = 12;
+  const cctsa::CctsaResult twelve = runCctsa(cfg);
+  EXPECT_LT(twelve.sim_ms, one.sim_ms);
+  // Same input, same result regardless of parallelism.
+  EXPECT_EQ(twelve.kmers_indexed, one.kmers_indexed);
+  EXPECT_EQ(twelve.contig_links, one.contig_links);
+}
+
+TEST(Cctsa, NatleRecordsHistoryAt72Threads) {
+  cctsa::CctsaConfig cfg;
+  cfg.scale = 0.25;
+  cfg.nthreads = 72;
+  cfg.natle = true;
+  const cctsa::CctsaResult r = runCctsa(cfg);
+  EXPECT_FALSE(r.natle_history.empty());
+  for (const auto& d : r.natle_history) {
+    EXPECT_GE(d.socket0_share, 0.0);
+    EXPECT_LE(d.socket0_share, 1.0);
+  }
+}
+
+TEST(ParaheapK, PinnedCostsMoreThanUnpinnedToCreateThreads) {
+  paraheapk::ParaheapConfig cfg;
+  cfg.scale = 0.08;
+  cfg.nthreads = 8;
+  cfg.pin_threads = true;
+  const double pinned = runParaheapK(cfg).sim_ms;
+  cfg.pin_threads = false;
+  const double unpinned = runParaheapK(cfg).sim_ms;
+  EXPECT_GT(pinned, 0.0);
+  EXPECT_GT(unpinned, 0.0);
+  // Pinning charges extra per created worker (24 creations x 8 workers).
+  EXPECT_GT(pinned, unpinned * 0.9);
+}
+
+TEST(ParaheapK, RunsAtFullMachineWidth) {
+  paraheapk::ParaheapConfig cfg;
+  cfg.scale = 0.05;
+  cfg.nthreads = 72;
+  cfg.natle = true;
+  const paraheapk::ParaheapResult r = runParaheapK(cfg);
+  EXPECT_GT(r.sim_ms, 0.0);
+  EXPECT_EQ(r.iterations, 12);
+}
+
+TEST(Barrier, ReleasesAllAtMaxClock) {
+  sim::MachineConfig mc = sim::LargeMachine();
+  sim::Machine m(mc);
+  sim::Barrier barrier(m, 3);
+  uint64_t resumed_at[3] = {};
+  for (int i = 0; i < 3; ++i) {
+    m.spawn(
+        [&, i](sim::SimThread& t) {
+          m.charge(t, 100 * (i + 1));  // arrive at 100/200/300
+          m.maybeYield(t);
+          barrier.arrive(t);
+          resumed_at[i] = t.clock;
+        },
+        sim::placeThread(mc, sim::PinPolicy::kFillSocketFirst, i));
+  }
+  m.run();
+  for (int i = 0; i < 3; ++i) EXPECT_GE(resumed_at[i], 300u);
+}
+
+TEST(Barrier, Reusable) {
+  sim::MachineConfig mc = sim::LargeMachine();
+  sim::Machine m(mc);
+  sim::Barrier barrier(m, 2);
+  int rounds_done[2] = {};
+  for (int i = 0; i < 2; ++i) {
+    m.spawn(
+        [&, i](sim::SimThread& t) {
+          for (int round = 0; round < 5; ++round) {
+            m.charge(t, (i + 1) * 50);
+            m.maybeYield(t);
+            barrier.arrive(t);
+            rounds_done[i] = round + 1;
+          }
+        },
+        sim::placeThread(mc, sim::PinPolicy::kFillSocketFirst, i));
+  }
+  m.run();
+  EXPECT_EQ(rounds_done[0], 5);
+  EXPECT_EQ(rounds_done[1], 5);
+}

@@ -1,0 +1,255 @@
+// Data-structure tests: sequential correctness against std::set (property
+// sweeps over sizes/seeds/mixes), structural invariants, and a concurrent
+// oracle — per-key insert/erase accounting must match final membership when
+// the structures run under TLE and NATLE.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "ds/avl.hpp"
+#include "ds/bst_internal.hpp"
+#include "ds/bst_leaf.hpp"
+#include "ds/dheap.hpp"
+#include "ds/hashmap.hpp"
+#include "ds/skiplist.hpp"
+#include "sync/natle.hpp"
+#include "sync/tle.hpp"
+
+using namespace natle;
+using namespace natle::htm;
+using namespace natle::ds;
+
+namespace {
+
+enum class Kind { kAvl, kLeaf, kInternal, kSkip };
+
+struct SetIface {
+  virtual ~SetIface() = default;
+  virtual bool insert(ThreadCtx&, int64_t) = 0;
+  virtual bool erase(ThreadCtx&, int64_t) = 0;
+  virtual bool contains(ThreadCtx&, int64_t) = 0;
+  virtual size_t size(ThreadCtx&) = 0;
+  virtual bool validate(ThreadCtx&) = 0;
+};
+
+template <typename S>
+struct Wrap : SetIface {
+  explicit Wrap(Env& e) : s(e) {}
+  bool insert(ThreadCtx& c, int64_t k) override { return s.insert(c, k); }
+  bool erase(ThreadCtx& c, int64_t k) override { return s.erase(c, k); }
+  bool contains(ThreadCtx& c, int64_t k) override { return s.contains(c, k); }
+  size_t size(ThreadCtx& c) override { return s.size(c); }
+  bool validate(ThreadCtx& c) override { return s.validate(c); }
+  S s;
+};
+
+std::unique_ptr<SetIface> make(Kind k, Env& e) {
+  switch (k) {
+    case Kind::kAvl: return std::make_unique<Wrap<AvlTree>>(e);
+    case Kind::kLeaf: return std::make_unique<Wrap<LeafBst>>(e);
+    case Kind::kInternal: return std::make_unique<Wrap<InternalBst>>(e);
+    case Kind::kSkip: return std::make_unique<Wrap<SkipList>>(e);
+  }
+  return nullptr;
+}
+
+const char* name(Kind k) {
+  switch (k) {
+    case Kind::kAvl: return "avl";
+    case Kind::kLeaf: return "leaf";
+    case Kind::kInternal: return "internal";
+    case Kind::kSkip: return "skip";
+  }
+  return "?";
+}
+
+struct SweepParam {
+  Kind kind;
+  uint64_t seed;
+  int64_t key_range;
+  int ops;
+};
+
+class SetSweep : public ::testing::TestWithParam<SweepParam> {};
+
+}  // namespace
+
+TEST_P(SetSweep, MatchesStdSet) {
+  const SweepParam p = GetParam();
+  Env env(sim::LargeMachine());
+  auto s = make(p.kind, env);
+  auto& c = env.setupCtx();
+  std::set<int64_t> ref;
+  sim::Rng rng(p.seed);
+  for (int i = 0; i < p.ops; ++i) {
+    const int64_t k = static_cast<int64_t>(rng.below(p.key_range));
+    const int op = static_cast<int>(rng.below(3));
+    if (op == 0) {
+      EXPECT_EQ(s->insert(c, k), ref.insert(k).second) << "op " << i;
+    } else if (op == 1) {
+      EXPECT_EQ(s->erase(c, k), ref.erase(k) == 1) << "op " << i;
+    } else {
+      EXPECT_EQ(s->contains(c, k), ref.count(k) == 1) << "op " << i;
+    }
+    if (i % 64 == 0) {
+      ASSERT_TRUE(s->validate(c)) << name(p.kind) << " invariant at op " << i;
+    }
+  }
+  EXPECT_EQ(s->size(c), ref.size());
+  EXPECT_TRUE(s->validate(c));
+  for (int64_t k = 0; k < p.key_range; ++k) {
+    ASSERT_EQ(s->contains(c, k), ref.count(k) == 1) << "key " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStructures, SetSweep,
+    ::testing::Values(
+        SweepParam{Kind::kAvl, 1, 64, 2000}, SweepParam{Kind::kAvl, 2, 1024, 4000},
+        SweepParam{Kind::kAvl, 3, 7, 1500}, SweepParam{Kind::kLeaf, 1, 64, 2000},
+        SweepParam{Kind::kLeaf, 2, 1024, 4000}, SweepParam{Kind::kLeaf, 3, 7, 1500},
+        SweepParam{Kind::kInternal, 1, 64, 2000},
+        SweepParam{Kind::kInternal, 2, 1024, 4000},
+        SweepParam{Kind::kInternal, 3, 7, 1500},
+        SweepParam{Kind::kSkip, 1, 64, 2000}, SweepParam{Kind::kSkip, 2, 1024, 4000},
+        SweepParam{Kind::kSkip, 3, 7, 1500}),
+    [](const ::testing::TestParamInfo<SweepParam>& i) {
+      return std::string(name(i.param.kind)) + "_s" +
+             std::to_string(i.param.seed) + "_r" +
+             std::to_string(i.param.key_range);
+    });
+
+namespace {
+
+// Concurrent oracle: per-key successful-insert minus successful-erase must
+// equal final minus initial membership; structure invariants must hold.
+void concurrentOracle(Kind kind, bool use_natle, int nthreads, int reps) {
+  sim::MachineConfig mc = sim::LargeMachine();
+  mc.seed = 42;
+  Env env(mc);
+  auto s = make(kind, env);
+  constexpr int64_t kRange = 128;
+  std::vector<int> initial(kRange, 0);
+  {
+    auto& sc = env.setupCtx();
+    sim::Rng pre(7);
+    for (int64_t k = 0; k < kRange; ++k) {
+      if (pre.chance(0.5)) {
+        s->insert(sc, k);
+        initial[k] = 1;
+      }
+    }
+  }
+  sync::TleLock tle(env);
+  sync::NatleLock natle(env);
+  std::vector<int64_t> net(kRange, 0);
+  for (int i = 0; i < nthreads; ++i) {
+    const auto slot =
+        sim::placeThread(mc, sim::PinPolicy::kFillSocketFirst,
+                         (i * 37) % mc.totalThreads());  // spread across sockets
+    env.spawnWorker(
+        [&, i](ThreadCtx& ctx) {
+          auto& rng = ctx.rng();
+          for (int r = 0; r < reps; ++r) {
+            const int64_t k = static_cast<int64_t>(rng.below(kRange));
+            const bool ins = (rng.next() & 1) != 0;
+            bool ok = false;
+            auto cs = [&] { ok = ins ? s->insert(ctx, k) : s->erase(ctx, k); };
+            if (use_natle) {
+              natle.execute(ctx, cs);
+            } else {
+              tle.execute(ctx, cs);
+            }
+            if (ok) net[k] += ins ? 1 : -1;
+          }
+        },
+        slot);
+  }
+  env.run();
+  auto& sc = env.setupCtx();
+  ASSERT_TRUE(s->validate(sc));
+  for (int64_t k = 0; k < kRange; ++k) {
+    const int fin = s->contains(sc, k) ? 1 : 0;
+    EXPECT_EQ(net[k], fin - initial[k]) << "key " << k;
+  }
+}
+
+}  // namespace
+
+TEST(ConcurrentOracle, AvlTle) { concurrentOracle(Kind::kAvl, false, 12, 120); }
+TEST(ConcurrentOracle, AvlNatle) { concurrentOracle(Kind::kAvl, true, 12, 120); }
+TEST(ConcurrentOracle, LeafTle) { concurrentOracle(Kind::kLeaf, false, 12, 120); }
+TEST(ConcurrentOracle, InternalTle) {
+  concurrentOracle(Kind::kInternal, false, 12, 120);
+}
+TEST(ConcurrentOracle, SkipTle) { concurrentOracle(Kind::kSkip, false, 12, 120); }
+TEST(ConcurrentOracle, SkipNatle) { concurrentOracle(Kind::kSkip, true, 12, 120); }
+
+TEST(HashMap, BasicOps) {
+  Env env(sim::LargeMachine());
+  HashMap m(env, 64);
+  auto& c = env.setupCtx();
+  EXPECT_TRUE(m.insert(c, 1, 10));
+  EXPECT_FALSE(m.insert(c, 1, 11));
+  int64_t v = 0;
+  EXPECT_TRUE(m.get(c, 1, v));
+  EXPECT_EQ(v, 10);
+  EXPECT_EQ(m.upsertAdd(c, 1, 5), 15);
+  EXPECT_EQ(m.upsertAdd(c, 2, 3), 3);
+  EXPECT_EQ(m.size(c), 2);
+  EXPECT_TRUE(m.erase(c, 1));
+  EXPECT_FALSE(m.erase(c, 1));
+  EXPECT_FALSE(m.contains(c, 1));
+  EXPECT_EQ(m.size(c), 1);
+}
+
+TEST(HashMap, ManyKeysAcrossBuckets) {
+  Env env(sim::LargeMachine());
+  HashMap m(env, 32);  // force chains
+  auto& c = env.setupCtx();
+  for (int64_t k = 0; k < 500; ++k) EXPECT_TRUE(m.insert(c, k * 7, k));
+  EXPECT_EQ(m.size(c), 500);
+  for (int64_t k = 0; k < 500; ++k) {
+    int64_t v = -1;
+    ASSERT_TRUE(m.get(c, k * 7, v));
+    EXPECT_EQ(v, k);
+  }
+  for (int64_t k = 0; k < 500; k += 2) EXPECT_TRUE(m.erase(c, k * 7));
+  EXPECT_EQ(m.size(c), 250);
+}
+
+TEST(DHeap, OrderedExtraction) {
+  Env env(sim::LargeMachine());
+  DHeap h(env, 256);
+  auto& c = env.setupCtx();
+  sim::Rng rng(5);
+  std::multiset<int64_t> ref;
+  for (int i = 0; i < 200; ++i) {
+    const int64_t p = static_cast<int64_t>(rng.below(1000));
+    ASSERT_TRUE(h.push(c, p, i));
+    ref.insert(p);
+    ASSERT_TRUE(h.validate(c));
+  }
+  int64_t prev = INT64_MIN;
+  while (h.size(c) > 0) {
+    int64_t p = 0, payload = 0;
+    ASSERT_TRUE(h.pop(c, p, payload));
+    EXPECT_GE(p, prev);
+    prev = p;
+    EXPECT_EQ(p, *ref.begin());
+    ref.erase(ref.begin());
+  }
+  int64_t p = 0, payload = 0;
+  EXPECT_FALSE(h.pop(c, p, payload));
+}
+
+TEST(DHeap, RejectsPushBeyondCapacity) {
+  Env env(sim::LargeMachine());
+  DHeap h(env, 8);
+  auto& c = env.setupCtx();
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(h.push(c, i, i));
+  EXPECT_FALSE(h.push(c, 99, 99));
+  EXPECT_EQ(h.size(c), 8);
+}

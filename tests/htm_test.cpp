@@ -1,0 +1,300 @@
+// Tests for the HTM emulator: latency charging, transactional commit and
+// rollback, requester-wins conflicts, capacity aborts, explicit aborts,
+// allocation rollback, NUMA latency asymmetry.
+#include <gtest/gtest.h>
+
+#include "htm/env.hpp"
+
+using namespace natle;
+using namespace natle::htm;
+using sim::HwSlot;
+using sim::LargeMachine;
+using sim::MachineConfig;
+
+namespace {
+
+// Run one or more worker bodies to completion on a fresh Env.
+template <typename... Fn>
+void runWorkers(Env& env, Fn&&... fns) {
+  int i = 0;
+  (env.spawnWorker(std::forward<Fn>(fns),
+                   sim::placeThread(env.cfg(), sim::PinPolicy::kFillSocketFirst,
+                                    i++)),
+   ...);
+  env.run();
+}
+
+}  // namespace
+
+TEST(Htm, PlainLoadStoreRoundTrip) {
+  Env env(LargeMachine());
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *x = 5;
+  runWorkers(env, [&](ThreadCtx& ctx) {
+    EXPECT_EQ(ctx.load(*x), 5);
+    ctx.store(*x, int64_t{9});
+    EXPECT_EQ(ctx.load(*x), 9);
+  });
+  EXPECT_EQ(*x, 9);
+}
+
+TEST(Htm, LatencyColdThenL1) {
+  Env env(LargeMachine());
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t), 0));
+  *x = 1;
+  uint64_t first = 0, second = 0;
+  runWorkers(env, [&](ThreadCtx& ctx) {
+    const uint64_t t0 = ctx.nowCycles();
+    ctx.load(*x);
+    first = ctx.nowCycles() - t0;
+    const uint64_t t1 = ctx.nowCycles();
+    ctx.load(*x);
+    second = ctx.nowCycles() - t1;
+  });
+  EXPECT_EQ(first, env.cfg().local_dram);  // cold miss, home socket 0
+  EXPECT_EQ(second, env.cfg().l1_hit);
+}
+
+TEST(Htm, RemoteDramCostsMoreThanLocal) {
+  MachineConfig cfg = LargeMachine();
+  Env env(cfg);
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t), 0));
+  *x = 1;
+  uint64_t remote_cost = 0;
+  // Thread on socket 1 reads a line homed on socket 0.
+  env.spawnWorker(
+      [&](ThreadCtx& ctx) {
+        ASSERT_EQ(ctx.socket(), 1);
+        const uint64_t t0 = ctx.nowCycles();
+        ctx.load(*x);
+        remote_cost = ctx.nowCycles() - t0;
+      },
+      sim::placeThread(cfg, sim::PinPolicy::kFillSocketFirst, 40));
+  env.run();
+  EXPECT_EQ(remote_cost, cfg.remote_dram);
+}
+
+TEST(Htm, CommitMakesWritesDurable) {
+  Env env(LargeMachine());
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *x = 1;
+  runWorkers(env, [&](ThreadCtx& ctx) {
+    unsigned s;
+    NATLE_TX_BEGIN(ctx, s);
+    ASSERT_EQ(s, kTxStarted);
+    ctx.store(*x, int64_t{7});
+    ctx.txCommit();
+  });
+  EXPECT_EQ(*x, 7);
+}
+
+TEST(Htm, ExplicitAbortRollsBack) {
+  Env env(LargeMachine());
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *x = 1;
+  runWorkers(env, [&](ThreadCtx& ctx) {
+    unsigned s;
+    volatile bool first = true;
+    NATLE_TX_BEGIN(ctx, s);
+    if (s == kTxStarted) {
+      ASSERT_TRUE(first);
+      first = false;
+      ctx.store(*x, int64_t{99});
+      EXPECT_EQ(ctx.load(*x), 99);  // we see our own write
+      ctx.txAbort(42);
+      FAIL() << "unreachable";
+    }
+    const AbortStatus a = decodeStatus(s);
+    EXPECT_EQ(a.reason, AbortReason::kExplicit);
+    EXPECT_EQ(a.xabort_code, 42);
+    EXPECT_TRUE(a.may_retry);
+    EXPECT_EQ(ctx.load(*x), 1);  // rolled back
+  });
+  EXPECT_EQ(*x, 1);
+}
+
+TEST(Htm, ConflictAbortsTheOtherWriter) {
+  // Thread A starts a transaction and writes x, then spins in simulated
+  // time; thread B (plain) writes x, which must abort A and restore x.
+  Env env(LargeMachine());
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *x = 1;
+  bool a_aborted = false;
+  runWorkers(
+      env,
+      [&](ThreadCtx& ctx) {
+        unsigned s;
+        NATLE_TX_BEGIN(ctx, s);
+        if (s == kTxStarted) {
+          ctx.store(*x, int64_t{50});
+          ctx.work(100000);  // long window: B's write lands here
+          ctx.txCommit();
+          return;
+        }
+        a_aborted = true;
+        EXPECT_EQ(decodeStatus(s).reason, AbortReason::kConflict);
+        EXPECT_TRUE(decodeStatus(s).may_retry);
+      },
+      [&](ThreadCtx& ctx) {
+        ctx.work(5000);  // let A write first
+        ctx.store(*x, int64_t{2});
+      });
+  EXPECT_TRUE(a_aborted);
+  EXPECT_EQ(*x, 2);
+}
+
+TEST(Htm, ReaderAbortedByWriter) {
+  Env env(LargeMachine());
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *x = 1;
+  bool reader_aborted = false;
+  runWorkers(
+      env,
+      [&](ThreadCtx& ctx) {
+        unsigned s;
+        NATLE_TX_BEGIN(ctx, s);
+        if (s == kTxStarted) {
+          (void)ctx.load(*x);
+          ctx.work(100000);
+          ctx.txCommit();
+          return;
+        }
+        reader_aborted = true;
+      },
+      [&](ThreadCtx& ctx) {
+        ctx.work(5000);
+        ctx.store(*x, int64_t{2});
+      });
+  EXPECT_TRUE(reader_aborted);
+}
+
+TEST(Htm, ReadersDoNotAbortEachOther) {
+  Env env(LargeMachine());
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *x = 1;
+  int commits = 0;
+  auto reader = [&](ThreadCtx& ctx) {
+    unsigned s;
+    NATLE_TX_BEGIN(ctx, s);
+    if (s == kTxStarted) {
+      (void)ctx.load(*x);
+      ctx.work(50000);
+      ctx.txCommit();
+      ++commits;
+      return;
+    }
+    FAIL() << "reader aborted by reader";
+  };
+  runWorkers(env, reader, reader, reader);
+  EXPECT_EQ(commits, 3);
+}
+
+TEST(Htm, TxAllocRolledBackOnAbort) {
+  Env env(LargeMachine());
+  const size_t live0 = env.allocator().liveBytes();
+  runWorkers(env, [&](ThreadCtx& ctx) {
+    unsigned s;
+    NATLE_TX_BEGIN(ctx, s);
+    if (s == kTxStarted) {
+      ctx.alloc(64);
+      ctx.txAbort(1);
+    }
+  });
+  EXPECT_EQ(env.allocator().liveBytes(), live0);
+}
+
+TEST(Htm, TxFreeDeferredToCommit) {
+  Env env(LargeMachine());
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  const size_t live_with_x = env.allocator().liveBytes();
+  runWorkers(env, [&](ThreadCtx& ctx) {
+    unsigned s;
+    volatile int attempt = 0;
+    NATLE_TX_BEGIN(ctx, s);
+    if (s == kTxStarted) {
+      ctx.free(x);
+      EXPECT_EQ(env.allocator().liveBytes(), live_with_x);  // not yet freed
+      if (attempt == 0) {
+        attempt = 1;
+        ctx.txAbort(1);
+      }
+      ctx.txCommit();
+      return;
+    }
+    // Retry after the abort: x must still be live.
+    EXPECT_EQ(env.allocator().liveBytes(), live_with_x);
+    unsigned s2;
+    NATLE_TX_BEGIN(ctx, s2);
+    if (s2 == kTxStarted) {
+      ctx.free(x);
+      ctx.txCommit();
+    }
+  });
+  EXPECT_LT(env.allocator().liveBytes(), live_with_x);
+}
+
+TEST(Htm, CapacityAbortOnOverflow) {
+  // A transaction writing more lines than one L1 set holds must abort with
+  // the hint bit clear. Lines are chosen to map to the same set.
+  sim::MachineConfig cfg = LargeMachine();
+  Env env(cfg);
+  const uint32_t ways = cfg.l1_ways;
+  const uint32_t sets = cfg.l1_sets;
+  // Allocate (ways+2) line-sized blocks mapping to the same set.
+  std::vector<int64_t*> blocks;
+  std::vector<void*> raw;
+  while (blocks.size() < ways + 2) {
+    void* p = env.allocShared(64);
+    raw.push_back(p);
+    if (mem::lineOf(p) % sets == 0) blocks.push_back(static_cast<int64_t*>(p));
+  }
+  bool capacity = false;
+  runWorkers(env, [&](ThreadCtx& ctx) {
+    unsigned s;
+    NATLE_TX_BEGIN(ctx, s);
+    if (s == kTxStarted) {
+      for (auto* b : blocks) ctx.store(*b, int64_t{1});
+      ctx.txCommit();
+      return;
+    }
+    const AbortStatus a = decodeStatus(s);
+    capacity = a.reason == AbortReason::kCapacity;
+    EXPECT_FALSE(a.may_retry);
+  });
+  EXPECT_TRUE(capacity);
+}
+
+TEST(Htm, CasSemantics) {
+  Env env(LargeMachine());
+  auto* x = static_cast<uint64_t*>(env.allocShared(sizeof(uint64_t)));
+  *x = 0;
+  runWorkers(env, [&](ThreadCtx& ctx) {
+    EXPECT_TRUE(ctx.cas(*x, uint64_t{0}, uint64_t{1}));
+    EXPECT_FALSE(ctx.cas(*x, uint64_t{0}, uint64_t{2}));
+    EXPECT_EQ(ctx.load(*x), 1u);
+  });
+}
+
+TEST(Htm, SetupModeIsFree) {
+  Env env(LargeMachine());
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  auto& sc = env.setupCtx();
+  sc.store(*x, int64_t{11});
+  EXPECT_EQ(sc.load(*x), 11);
+  EXPECT_EQ(sc.nowCycles(), 0u);
+  EXPECT_EQ(env.directory().size(), 0u);  // setup does not touch coherence
+}
+
+TEST(Htm, StatsWindowExcludesWarmup) {
+  Env env(LargeMachine());
+  env.setStatsStart(1000000);
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  runWorkers(env, [&](ThreadCtx& ctx) {
+    ctx.store(*x, int64_t{1});  // before stats window
+    ctx.work(2000000);
+    ctx.store(*x, int64_t{2});  // inside stats window
+  });
+  const TxStats t = env.totals();
+  // Only the second store is counted (as an L1 hit or local hit).
+  EXPECT_EQ(t.l1_hits + t.local_hits + t.dram_misses + t.remote_transfers, 1u);
+}

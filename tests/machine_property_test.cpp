@@ -1,0 +1,152 @@
+// Property sweeps over machine configurations: the HTM engine and the lock
+// layer must preserve atomicity and the structures' invariants for any
+// topology (1/2/4 sockets), L1 geometry, latency mix and hyperthread
+// penalty — the knobs ablation benches turn.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ds/avl.hpp"
+#include "sync/natle.hpp"
+#include "sync/tle.hpp"
+
+using namespace natle;
+using namespace natle::htm;
+
+namespace {
+
+struct MachineParam {
+  const char* name;
+  int sockets;
+  int cores_per_socket;
+  int threads_per_core;
+  uint32_t l1_sets;
+  uint32_t l1_ways;
+  uint32_t remote_transfer;
+  double ht_penalty;
+};
+
+class MachineSweep : public ::testing::TestWithParam<MachineParam> {
+ protected:
+  sim::MachineConfig config() const {
+    sim::MachineConfig mc;
+    const MachineParam p = GetParam();
+    mc.sockets = p.sockets;
+    mc.cores_per_socket = p.cores_per_socket;
+    mc.threads_per_core = p.threads_per_core;
+    mc.l1_sets = p.l1_sets;
+    mc.l1_ways = p.l1_ways;
+    mc.remote_transfer = p.remote_transfer;
+    mc.ht_penalty = p.ht_penalty;
+    mc.seed = 11;
+    return mc;
+  }
+};
+
+}  // namespace
+
+TEST_P(MachineSweep, TleCounterIsExact) {
+  sim::MachineConfig mc = config();
+  Env env(mc);
+  sync::TleLock lock(env);
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *x = 0;
+  const int nthreads = std::min(mc.totalThreads(), 16);
+  for (int i = 0; i < nthreads; ++i) {
+    env.spawnWorker(
+        [&](ThreadCtx& ctx) {
+          for (int r = 0; r < 40; ++r) {
+            lock.execute(ctx, [&] { ctx.store(*x, ctx.load(*x) + 1); });
+            ctx.work(200);
+          }
+        },
+        sim::placeThread(mc, sim::PinPolicy::kFillSocketFirst,
+                         i % mc.totalThreads()));
+  }
+  env.run();
+  EXPECT_EQ(*x, nthreads * 40);
+}
+
+TEST_P(MachineSweep, AvlOracleHolds) {
+  sim::MachineConfig mc = config();
+  Env env(mc);
+  ds::AvlTree tree(env);
+  constexpr int64_t kRange = 96;
+  std::set<int64_t> initial;
+  {
+    auto& sc = env.setupCtx();
+    sim::Rng pre(3);
+    for (int64_t k = 0; k < kRange; ++k) {
+      if (pre.chance(0.5)) {
+        tree.insert(sc, k);
+        initial.insert(k);
+      }
+    }
+  }
+  sync::TleLock lock(env);
+  std::vector<int64_t> net(kRange, 0);
+  const int nthreads = std::min(mc.totalThreads(), 10);
+  for (int i = 0; i < nthreads; ++i) {
+    // Spread across the whole machine (all sockets).
+    const int idx = (i * mc.totalThreads()) / nthreads;
+    env.spawnWorker(
+        [&](ThreadCtx& ctx) {
+          auto& rng = ctx.rng();
+          for (int r = 0; r < 80; ++r) {
+            const int64_t k = static_cast<int64_t>(rng.below(kRange));
+            const bool ins = (rng.next() & 1) != 0;
+            bool ok = false;
+            lock.execute(ctx, [&] {
+              ok = ins ? tree.insert(ctx, k) : tree.erase(ctx, k);
+            });
+            if (ok) net[k] += ins ? 1 : -1;
+          }
+        },
+        sim::placeThread(mc, sim::PinPolicy::kFillSocketFirst, idx));
+  }
+  env.run();
+  auto& sc = env.setupCtx();
+  ASSERT_TRUE(tree.validate(sc));
+  for (int64_t k = 0; k < kRange; ++k) {
+    const int fin = tree.contains(sc, k) ? 1 : 0;
+    EXPECT_EQ(net[k], fin - (initial.count(k) ? 1 : 0)) << "key " << k;
+  }
+}
+
+TEST_P(MachineSweep, NatleCounterIsExact) {
+  sim::MachineConfig mc = config();
+  Env env(mc);
+  sync::NatleLock lock(env);
+  lock.setActiveRows(128);
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *x = 0;
+  const int nthreads = std::min(mc.totalThreads(), 12);
+  for (int i = 0; i < nthreads; ++i) {
+    const int idx = (i * mc.totalThreads()) / nthreads;
+    env.spawnWorker(
+        [&](ThreadCtx& ctx) {
+          for (int r = 0; r < 30; ++r) {
+            lock.execute(ctx, [&] { ctx.store(*x, ctx.load(*x) + 1); });
+            ctx.work(300);
+          }
+        },
+        sim::placeThread(mc, sim::PinPolicy::kFillSocketFirst, idx));
+  }
+  env.run();
+  EXPECT_EQ(*x, nthreads * 30);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Topologies, MachineSweep,
+    ::testing::Values(
+        MachineParam{"paper_large", 2, 18, 2, 64, 8, 500, 1.6},
+        MachineParam{"paper_small", 1, 4, 2, 64, 8, 500, 1.6},
+        MachineParam{"four_socket", 4, 8, 2, 64, 8, 500, 1.6},
+        MachineParam{"single_core_ht", 1, 1, 2, 64, 8, 500, 1.6},
+        MachineParam{"tiny_l1", 2, 18, 2, 8, 2, 500, 1.6},
+        MachineParam{"no_ht_penalty", 2, 18, 2, 64, 8, 500, 1.0},
+        MachineParam{"uniform_latency", 2, 18, 2, 64, 8, 40, 1.6},
+        MachineParam{"brutal_numa", 2, 18, 2, 64, 8, 2000, 1.6}),
+    [](const ::testing::TestParamInfo<MachineParam>& i) {
+      return i.param.name;
+    });

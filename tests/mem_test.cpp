@@ -1,0 +1,126 @@
+// Unit tests for the memory subsystem: directory state, L1 filter capacity
+// semantics, allocator padding/homing.
+#include <gtest/gtest.h>
+
+#include "mem/alloc.hpp"
+#include "mem/directory.hpp"
+#include "mem/l1.hpp"
+
+using namespace natle::mem;
+
+TEST(Directory, CreatesWithHome) {
+  Directory d;
+  LineState& s = d.lookup(1234, 1);
+  EXPECT_EQ(s.home_socket, 1);
+  EXPECT_EQ(s.owner_socket, -1);
+  EXPECT_EQ(s.sharer_mask, 0);
+  // Second lookup does not reset the home.
+  LineState& s2 = d.lookup(1234, 0);
+  EXPECT_EQ(&s, &s2);
+  EXPECT_EQ(s2.home_socket, 1);
+}
+
+TEST(Directory, FindMissingReturnsNull) {
+  Directory d;
+  EXPECT_EQ(d.find(99), nullptr);
+  d.lookup(99, 0);
+  EXPECT_NE(d.find(99), nullptr);
+}
+
+TEST(L1, HitAfterInsertMissAfterVersionBump) {
+  Directory d;
+  L1Cache l1(64, 8);
+  LineState& s = d.lookup(640, 0);
+  EXPECT_EQ(l1.probe(640), nullptr);
+  l1.insert(640, &s, nullptr);
+  EXPECT_NE(l1.probe(640), nullptr);
+  s.version++;  // a write anywhere invalidates the cached copy
+  EXPECT_EQ(l1.probe(640), nullptr);
+}
+
+TEST(L1, EvictsInvalidAndPlainBeforeTransactional) {
+  Directory d;
+  L1Cache l1(1, 2);  // one set, two ways: tiny cache for forced eviction
+  TxBase tx;
+  tx.in_flight = true;
+  tx.seq = 1;
+  LineState& a = d.lookup(1, 0);
+  LineState& b = d.lookup(2, 0);
+  LineState& c = d.lookup(3, 0);
+  auto r1 = l1.insert(1, &a, &tx);  // transactional
+  auto r2 = l1.insert(2, &b, nullptr);  // plain
+  EXPECT_EQ(r1.capacity_victim, nullptr);
+  EXPECT_EQ(r2.capacity_victim, nullptr);
+  // Inserting a third line must evict the plain line, not the tx line.
+  auto r3 = l1.insert(3, &c, nullptr);
+  EXPECT_EQ(r3.capacity_victim, nullptr);
+  EXPECT_NE(l1.probe(1), nullptr);
+  EXPECT_EQ(l1.probe(2), nullptr);
+  EXPECT_NE(l1.probe(3), nullptr);
+}
+
+TEST(L1, CapacityAbortWhenSetFullOfTransactionalLines) {
+  Directory d;
+  L1Cache l1(1, 2);
+  TxBase mine, sibling;
+  mine.in_flight = sibling.in_flight = true;
+  mine.seq = sibling.seq = 1;
+  l1.insert(1, &d.lookup(1, 0), &mine);
+  l1.insert(2, &d.lookup(2, 0), &sibling);
+  // My new transactional line evicts the *sibling's* line first.
+  auto r = l1.insert(3, &d.lookup(3, 0), &mine);
+  EXPECT_EQ(r.capacity_victim, &sibling);
+  // With only my own lines resident, the victim is me (true overflow).
+  sibling.in_flight = false;
+  l1.flush();
+  l1.insert(4, &d.lookup(4, 0), &mine);
+  l1.insert(5, &d.lookup(5, 0), &mine);
+  auto r2 = l1.insert(6, &d.lookup(6, 0), &mine);
+  EXPECT_EQ(r2.capacity_victim, &mine);
+}
+
+TEST(L1, DeadTransactionLinesAreEvictable) {
+  Directory d;
+  L1Cache l1(1, 2);
+  TxBase tx;
+  tx.in_flight = true;
+  tx.seq = 1;
+  l1.insert(1, &d.lookup(1, 0), &tx);
+  l1.insert(2, &d.lookup(2, 0), &tx);
+  tx.in_flight = false;  // transaction ended
+  auto r = l1.insert(3, &d.lookup(3, 0), nullptr);
+  EXPECT_EQ(r.capacity_victim, nullptr);
+}
+
+TEST(Alloc, PadsToLineAndTracksHome) {
+  SimAllocator a(true);
+  void* p = a.alloc(8, 1);
+  void* q = a.alloc(8, 1);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % kLineBytes, 0u);
+  EXPECT_NE(lineOf(p), lineOf(q));  // padding: no two objects share a line
+  EXPECT_EQ(a.homeOf(lineOf(p)), 1);
+  a.free(p);
+  a.free(q);
+  EXPECT_EQ(a.liveBytes(), 0u);
+}
+
+TEST(Alloc, UnpaddedModeSharesLines) {
+  SimAllocator a(false);
+  void* p = a.alloc(16, 0);
+  void* q = a.alloc(16, 0);
+  // Bump allocation: 16-byte objects land adjacent, sharing a line.
+  EXPECT_EQ(lineOf(p), lineOf(q));
+}
+
+TEST(Alloc, ReusesFreedBlocks) {
+  SimAllocator a(true);
+  void* p = a.alloc(64, 0);
+  a.free(p);
+  void* q = a.alloc(64, 0);
+  EXPECT_EQ(p, q);
+}
+
+TEST(Alloc, HomeOfUnknownLineIsZero) {
+  SimAllocator a(true);
+  EXPECT_EQ(a.homeOf(0xdeadbeef), 0);
+}

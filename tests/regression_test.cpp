@@ -1,0 +1,246 @@
+// Regression and failure-injection tests for bugs found during development
+// plus adversarial scenarios (abort storms, hostile lock holders, thread
+// migration under NATLE).
+#include <gtest/gtest.h>
+
+#include "ds/avl.hpp"
+#include "sync/natle.hpp"
+#include "sync/tle.hpp"
+
+using namespace natle;
+using namespace natle::htm;
+
+namespace {
+
+sim::HwSlot slotFor(const sim::MachineConfig& cfg, int i) {
+  return sim::placeThread(cfg, sim::PinPolicy::kFillSocketFirst, i);
+}
+
+}  // namespace
+
+// Regression: ctx.free() while a cross-thread abort is pending must NOT
+// free (the unlink stores were rolled back, so the block is still
+// reachable). This was the root cause of tree corruption under contention:
+// a node landed on the free list while still linked, was recycled, and was
+// overwritten in place.
+TEST(Regression, FreeWithPendingAbortIsDiscarded) {
+  Env env(sim::LargeMachine());
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *x = 1;
+  void* node = env.allocShared(64);
+  const size_t live_before = env.allocator().liveBytes();
+  bool aborted = false;
+  env.spawnWorker(
+      [&](ThreadCtx& ctx) {
+        unsigned s;
+        NATLE_TX_BEGIN(ctx, s);
+        if (s == kTxStarted) {
+          (void)ctx.load(*x);   // join the conflict set
+          ctx.work(100000);     // the adversary's write lands in this window
+          ctx.free(node);       // pending abort MUST preempt this free
+          ctx.txCommit();
+          FAIL() << "transaction should have aborted";
+        }
+        aborted = true;
+        EXPECT_EQ(env.allocator().liveBytes(), live_before)
+            << "free of a reachable block leaked through an abort";
+      },
+      slotFor(env.cfg(), 0));
+  env.spawnWorker(
+      [&](ThreadCtx& ctx) {
+        ctx.work(5000);
+        ctx.store(*x, int64_t{2});
+      },
+      slotFor(env.cfg(), 1));
+  env.run();
+  EXPECT_TRUE(aborted);
+}
+
+// Regression: same hazard for ctx.alloc() — an allocation made after the
+// abort landed would escape the tx_allocs rollback log.
+TEST(Regression, AllocWithPendingAbortIsDiscarded) {
+  Env env(sim::LargeMachine());
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *x = 1;
+  const size_t live_before = env.allocator().liveBytes();
+  env.spawnWorker(
+      [&](ThreadCtx& ctx) {
+        unsigned s;
+        NATLE_TX_BEGIN(ctx, s);
+        if (s == kTxStarted) {
+          (void)ctx.load(*x);
+          ctx.work(100000);
+          void* p = ctx.alloc(64);  // must longjmp before allocating
+          (void)p;
+          ctx.txCommit();
+          FAIL() << "transaction should have aborted";
+        }
+      },
+      slotFor(env.cfg(), 0));
+  env.spawnWorker(
+      [&](ThreadCtx& ctx) {
+        ctx.work(5000);
+        ctx.store(*x, int64_t{2});
+      },
+      slotFor(env.cfg(), 1));
+  env.run();
+  EXPECT_EQ(env.allocator().liveBytes(), live_before);
+}
+
+// Regression: a single thread using a NATLE lock must terminate — the
+// epoch-stamp encoding once made cycle 0 unclaimable and startProfiling
+// spun forever.
+TEST(Regression, NatleCycleZeroIsClaimable) {
+  Env env(sim::LargeMachine());
+  sync::NatleLock lock(env);
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *x = 0;
+  env.spawnWorker(
+      [&](ThreadCtx& ctx) {
+        for (int i = 0; i < 50; ++i) {
+          lock.execute(ctx, [&] { ctx.store(*x, ctx.load(*x) + 1); });
+        }
+      },
+      slotFor(env.cfg(), 0));
+  env.run();
+  EXPECT_EQ(*x, 50);
+}
+
+// Regression: a transactional read hitting the shared L1 must not observe a
+// sibling hyperthread transaction's uncommitted write.
+TEST(Regression, SiblingHyperthreadDirtyReadAbortsWriter) {
+  sim::MachineConfig cfg = sim::LargeMachine();
+  Env env(cfg);
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *x = 1;
+  // Threads 0 and 18 share core 0 (fill-socket-first).
+  bool writer_aborted = false;
+  int64_t reader_saw = 0;
+  env.spawnWorker(
+      [&](ThreadCtx& ctx) {
+        unsigned s;
+        NATLE_TX_BEGIN(ctx, s);
+        if (s == kTxStarted) {
+          ctx.store(*x, int64_t{99});
+          ctx.work(100000);
+          ctx.txCommit();
+          return;
+        }
+        writer_aborted = true;
+      },
+      slotFor(cfg, 0));
+  env.spawnWorker(
+      [&](ThreadCtx& ctx) {
+        ctx.work(5000);
+        reader_saw = ctx.load(*x);  // plain read on the sibling hyperthread
+      },
+      slotFor(cfg, 18));
+  env.run();
+  EXPECT_TRUE(writer_aborted);
+  EXPECT_EQ(reader_saw, 1) << "observed an uncommitted transactional value";
+}
+
+// Failure injection: a hostile thread that takes the fallback lock and sits
+// on it. Elision must stall but correctness and progress must survive.
+TEST(FailureInjection, HostileLockHolder) {
+  Env env(sim::LargeMachine());
+  sync::TleLock lock(env);
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *x = 0;
+  env.spawnWorker(
+      [&](ThreadCtx& ctx) {
+        lock.execute(ctx, [&] {
+          ctx.store(*x, ctx.load(*x) + 1);
+          ctx.work(400000);  // hog the critical section
+        });
+      },
+      slotFor(env.cfg(), 0));
+  for (int i = 1; i < 6; ++i) {
+    env.spawnWorker(
+        [&](ThreadCtx& ctx) {
+          ctx.work(1000);
+          for (int r = 0; r < 10; ++r) {
+            lock.execute(ctx, [&] { ctx.store(*x, ctx.load(*x) + 1); });
+          }
+        },
+        slotFor(env.cfg(), i));
+  }
+  env.run();
+  EXPECT_EQ(*x, 1 + 5 * 10);
+}
+
+// Failure injection: abort storm — an adversary plain-writes the hottest
+// line as fast as it can while victims transact over it; every committed
+// increment must still be exact.
+TEST(FailureInjection, AbortStormPreservesAtomicity) {
+  Env env(sim::LargeMachine());
+  sync::TleLock lock(env);
+  auto* hot = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  auto* victim_sum = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *hot = 0;
+  *victim_sum = 0;
+  bool stop = false;
+  for (int i = 0; i < 4; ++i) {
+    env.spawnWorker(
+        [&](ThreadCtx& ctx) {
+          for (int r = 0; r < 60; ++r) {
+            lock.execute(ctx, [&] {
+              (void)ctx.load(*hot);
+              ctx.work(500);  // widen the window
+              ctx.store(*victim_sum, ctx.load(*victim_sum) + 1);
+            });
+          }
+        },
+        slotFor(env.cfg(), i));
+  }
+  env.spawnWorker(
+      [&](ThreadCtx& ctx) {
+        // Adversary on the other socket.
+        for (int r = 0; r < 3000 && !stop; ++r) {
+          ctx.store(*hot, static_cast<int64_t>(r));
+          ctx.work(300);
+        }
+      },
+      slotFor(env.cfg(), 40));
+  env.run();
+  stop = true;
+  EXPECT_EQ(*victim_sum, 4 * 60);
+}
+
+// NATLE under thread migration: unpinned threads move between sockets while
+// using a throttled lock; the cached-socket staleness must only ever affect
+// performance, never correctness.
+TEST(FailureInjection, NatleWithMigratingThreads) {
+  sim::MachineConfig mc = sim::LargeMachine();
+  Env env(mc);
+  sync::NatleLock lock(env);
+  lock.setActiveRows(128);
+  ds::AvlTree tree(env);
+  {
+    auto& sc = env.setupCtx();
+    for (int64_t k = 0; k < 256; k += 2) tree.insert(sc, k);
+  }
+  for (int i = 0; i < 16; ++i) {
+    env.spawnWorker(
+        [&](ThreadCtx& ctx) {
+          auto& rng = ctx.rng();
+          for (int r = 0; r < 150; ++r) {
+            ctx.opBoundary();  // may migrate
+            const int64_t k = static_cast<int64_t>(rng.below(256));
+            const bool ins = (rng.next() & 1) != 0;
+            lock.execute(ctx, [&] {
+              if (ins) {
+                tree.insert(ctx, k);
+              } else {
+                tree.erase(ctx, k);
+              }
+            });
+            ctx.work(2000);
+          }
+        },
+        sim::placeThread(mc, sim::PinPolicy::kUnpinned, i), /*pinned=*/false);
+  }
+  env.run();
+  auto& sc = env.setupCtx();
+  EXPECT_TRUE(tree.validate(sc));
+}

@@ -1,0 +1,156 @@
+// Tests for the set-microbenchmark driver: throughput sanity, statistics
+// plumbing, pinning policies, external work, and the thread axis helper.
+#include <gtest/gtest.h>
+
+#include "workload/setbench.hpp"
+
+using namespace natle;
+using namespace natle::workload;
+
+namespace {
+
+SetBenchConfig quickCfg() {
+  SetBenchConfig cfg;
+  cfg.key_range = 256;
+  cfg.measure_ms = 0.4;
+  cfg.warmup_ms = 0.2;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(SetBench, SingleThreadProducesOps) {
+  SetBenchConfig cfg = quickCfg();
+  cfg.nthreads = 1;
+  const SetBenchResult r = runSetBench(cfg);
+  EXPECT_GT(r.mops, 0.5);
+  EXPECT_GT(r.stats.ops, 100u);
+  EXPECT_EQ(r.stats.lock_acquires, 0u);  // nobody contends
+}
+
+TEST(SetBench, MoreThreadsMoreThroughputWithinSocket) {
+  SetBenchConfig cfg = quickCfg();
+  cfg.key_range = 8192;  // light contention
+  cfg.nthreads = 1;
+  const double one = runSetBench(cfg).mops;
+  cfg.nthreads = 8;
+  const double eight = runSetBench(cfg).mops;
+  EXPECT_GT(eight, 3.0 * one);
+}
+
+TEST(SetBench, ReadOnlyHasNoAborts) {
+  SetBenchConfig cfg = quickCfg();
+  cfg.update_pct = 0;
+  cfg.nthreads = 12;
+  const SetBenchResult r = runSetBench(cfg);
+  EXPECT_EQ(r.stats.totalAborts(), 0u);
+  EXPECT_EQ(r.stats.lock_acquires, 0u);
+}
+
+TEST(SetBench, UpdatesProduceConflictAborts) {
+  SetBenchConfig cfg = quickCfg();
+  cfg.update_pct = 100;
+  cfg.nthreads = 12;
+  const SetBenchResult r = runSetBench(cfg);
+  EXPECT_GT(r.stats.tx_aborts[static_cast<int>(htm::AbortReason::kConflict)],
+            0u);
+  EXPECT_GT(r.abort_rate, 0.0);
+  EXPECT_LE(r.abort_rate, 1.0);
+}
+
+TEST(SetBench, CrossSocketHurtsSmallTreeThroughput) {
+  SetBenchConfig cfg = quickCfg();
+  cfg.key_range = 2048;
+  cfg.update_pct = 100;
+  cfg.measure_ms = 1.0;
+  cfg.warmup_ms = 0.5;
+  cfg.nthreads = 36;
+  const double one_socket = runSetBench(cfg).mops;
+  cfg.nthreads = 48;
+  const double cross = runSetBench(cfg).mops;
+  EXPECT_LT(cross, one_socket) << "the paper's central observation";
+}
+
+TEST(SetBench, NatleAvoidsTheCliff) {
+  SetBenchConfig cfg = quickCfg();
+  cfg.key_range = 2048;
+  cfg.update_pct = 100;
+  cfg.measure_ms = 1.5;
+  cfg.warmup_ms = 0.8;
+  cfg.nthreads = 60;
+  cfg.sync = SyncKind::kTle;
+  const double tle = runSetBench(cfg).mops;
+  cfg.sync = SyncKind::kNatle;
+  const double natle = runSetBench(cfg).mops;
+  EXPECT_GT(natle, 1.5 * tle);
+}
+
+TEST(SetBench, SearchReplaceWorksUnsynchronized) {
+  SetBenchConfig cfg = quickCfg();
+  cfg.search_replace = true;
+  cfg.sync = SyncKind::kNone;
+  cfg.nthreads = 8;
+  const SetBenchResult r = runSetBench(cfg);
+  EXPECT_GT(r.mops, 1.0);
+  EXPECT_EQ(r.stats.tx_begins, 0u);  // no transactions at all
+}
+
+TEST(SetBench, ExternalWorkLowersThroughput) {
+  SetBenchConfig cfg = quickCfg();
+  cfg.nthreads = 4;
+  const double none = runSetBench(cfg).mops;
+  cfg.ext.max_units = 256;
+  const double some = runSetBench(cfg).mops;
+  EXPECT_LT(some, 0.8 * none);
+}
+
+TEST(SetBench, DeterministicForFixedSeed) {
+  SetBenchConfig cfg = quickCfg();
+  cfg.nthreads = 6;
+  cfg.seed = 99;
+  const SetBenchResult a = runSetBench(cfg);
+  const SetBenchResult b = runSetBench(cfg);
+  EXPECT_EQ(a.stats.ops, b.stats.ops);
+  EXPECT_EQ(a.stats.tx_begins, b.stats.tx_begins);
+  EXPECT_EQ(a.stats.totalAborts(), b.stats.totalAborts());
+}
+
+TEST(SetBench, AllStructuresRunUnderBothLocks) {
+  for (DsKind ds : {DsKind::kAvl, DsKind::kLeafBst, DsKind::kInternalBst,
+                    DsKind::kSkipList}) {
+    for (SyncKind sync : {SyncKind::kTle, SyncKind::kNatle}) {
+      SetBenchConfig cfg = quickCfg();
+      cfg.ds = ds;
+      cfg.sync = sync;
+      cfg.nthreads = 6;
+      const SetBenchResult r = runSetBench(cfg);
+      EXPECT_GT(r.stats.ops, 0u) << toString(ds) << "/" << toString(sync);
+    }
+  }
+}
+
+TEST(ThreadAxis, CoversSocketBoundary) {
+  const auto axis = threadAxis(sim::LargeMachine(), false);
+  EXPECT_EQ(axis.front(), 1);
+  EXPECT_EQ(axis.back(), 72);
+  bool has36 = false, has37 = false;
+  for (int n : axis) {
+    has36 |= n == 36;
+    has37 |= n == 37;
+  }
+  EXPECT_TRUE(has36);
+  EXPECT_TRUE(has37);
+  for (size_t i = 1; i < axis.size(); ++i) EXPECT_GT(axis[i], axis[i - 1]);
+}
+
+TEST(ThreadAxis, SmallMachineIsDense) {
+  const auto axis = threadAxis(sim::SmallMachine(), false);
+  EXPECT_EQ(axis.size(), 8u);
+  EXPECT_EQ(axis.front(), 1);
+  EXPECT_EQ(axis.back(), 8);
+}
+
+TEST(ThreadAxis, FullModeIsComplete) {
+  const auto axis = threadAxis(sim::LargeMachine(), true);
+  EXPECT_EQ(axis.size(), 72u);
+}
