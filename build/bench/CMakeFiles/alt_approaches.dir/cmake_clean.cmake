@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alt_approaches.dir/alt_approaches.cpp.o"
+  "CMakeFiles/alt_approaches.dir/alt_approaches.cpp.o.d"
+  "alt_approaches"
+  "alt_approaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alt_approaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_avl_two_machines.dir/fig01_avl_two_machines.cpp.o"
+  "CMakeFiles/fig01_avl_two_machines.dir/fig01_avl_two_machines.cpp.o.d"
+  "fig01_avl_two_machines"
+  "fig01_avl_two_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_avl_two_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig01_avl_two_machines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_retry_policies.dir/fig02_retry_policies.cpp.o"
+  "CMakeFiles/fig02_retry_policies.dir/fig02_retry_policies.cpp.o.d"
+  "fig02_retry_policies"
+  "fig02_retry_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_retry_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

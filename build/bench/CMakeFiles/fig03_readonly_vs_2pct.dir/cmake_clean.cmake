@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_readonly_vs_2pct.dir/fig03_readonly_vs_2pct.cpp.o"
+  "CMakeFiles/fig03_readonly_vs_2pct.dir/fig03_readonly_vs_2pct.cpp.o.d"
+  "fig03_readonly_vs_2pct"
+  "fig03_readonly_vs_2pct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_readonly_vs_2pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

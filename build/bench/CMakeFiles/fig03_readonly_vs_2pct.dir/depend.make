@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_readonly_vs_2pct.
+# This may be replaced when dependencies are built.

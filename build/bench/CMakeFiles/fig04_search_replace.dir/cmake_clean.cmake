@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_search_replace.dir/fig04_search_replace.cpp.o"
+  "CMakeFiles/fig04_search_replace.dir/fig04_search_replace.cpp.o.d"
+  "fig04_search_replace"
+  "fig04_search_replace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_search_replace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

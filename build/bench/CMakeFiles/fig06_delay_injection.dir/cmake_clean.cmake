@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_delay_injection.dir/fig06_delay_injection.cpp.o"
+  "CMakeFiles/fig06_delay_injection.dir/fig06_delay_injection.cpp.o.d"
+  "fig06_delay_injection"
+  "fig06_delay_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_delay_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_avl_vs_leafbst.dir/fig07_avl_vs_leafbst.cpp.o"
+  "CMakeFiles/fig07_avl_vs_leafbst.dir/fig07_avl_vs_leafbst.cpp.o.d"
+  "fig07_avl_vs_leafbst"
+  "fig07_avl_vs_leafbst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_avl_vs_leafbst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

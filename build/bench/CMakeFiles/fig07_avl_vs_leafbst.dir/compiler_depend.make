@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_avl_vs_leafbst.
+# This may be replaced when dependencies are built.

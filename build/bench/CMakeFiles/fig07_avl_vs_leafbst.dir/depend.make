@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_avl_vs_leafbst.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_llc_miss_aborts.dir/fig08_llc_miss_aborts.cpp.o"
+  "CMakeFiles/fig08_llc_miss_aborts.dir/fig08_llc_miss_aborts.cpp.o.d"
+  "fig08_llc_miss_aborts"
+  "fig08_llc_miss_aborts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_llc_miss_aborts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

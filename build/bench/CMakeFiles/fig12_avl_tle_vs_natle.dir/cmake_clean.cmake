@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_avl_tle_vs_natle.dir/fig12_avl_tle_vs_natle.cpp.o"
+  "CMakeFiles/fig12_avl_tle_vs_natle.dir/fig12_avl_tle_vs_natle.cpp.o.d"
+  "fig12_avl_tle_vs_natle"
+  "fig12_avl_tle_vs_natle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_avl_tle_vs_natle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

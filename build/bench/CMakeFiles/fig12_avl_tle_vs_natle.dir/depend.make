@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_avl_tle_vs_natle.
+# This may be replaced when dependencies are built.

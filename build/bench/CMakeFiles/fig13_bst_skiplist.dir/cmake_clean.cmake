@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_bst_skiplist.dir/fig13_bst_skiplist.cpp.o"
+  "CMakeFiles/fig13_bst_skiplist.dir/fig13_bst_skiplist.cpp.o.d"
+  "fig13_bst_skiplist"
+  "fig13_bst_skiplist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_bst_skiplist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_bst_smallrange.dir/fig14_bst_smallrange.cpp.o"
+  "CMakeFiles/fig14_bst_smallrange.dir/fig14_bst_smallrange.cpp.o.d"
+  "fig14_bst_smallrange"
+  "fig14_bst_smallrange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_bst_smallrange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

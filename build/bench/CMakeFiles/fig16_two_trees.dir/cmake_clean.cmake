@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_two_trees.dir/fig16_two_trees.cpp.o"
+  "CMakeFiles/fig16_two_trees.dir/fig16_two_trees.cpp.o.d"
+  "fig16_two_trees"
+  "fig16_two_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_two_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

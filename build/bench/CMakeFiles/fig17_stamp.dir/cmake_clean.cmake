@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_stamp.dir/fig17_stamp.cpp.o"
+  "CMakeFiles/fig17_stamp.dir/fig17_stamp.cpp.o.d"
+  "fig17_stamp"
+  "fig17_stamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_cctsa.dir/fig18_cctsa.cpp.o"
+  "CMakeFiles/fig18_cctsa.dir/fig18_cctsa.cpp.o.d"
+  "fig18_cctsa"
+  "fig18_cctsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_cctsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

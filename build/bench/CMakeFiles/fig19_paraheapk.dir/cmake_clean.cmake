@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_paraheapk.dir/fig19_paraheapk.cpp.o"
+  "CMakeFiles/fig19_paraheapk.dir/fig19_paraheapk.cpp.o.d"
+  "fig19_paraheapk"
+  "fig19_paraheapk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_paraheapk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

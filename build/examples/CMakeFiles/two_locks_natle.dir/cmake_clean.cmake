@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_locks_natle.dir/two_locks_natle.cpp.o"
+  "CMakeFiles/two_locks_natle.dir/two_locks_natle.cpp.o.d"
+  "two_locks_natle"
+  "two_locks_natle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_locks_natle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

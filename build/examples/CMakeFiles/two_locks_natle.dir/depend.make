@@ -1,0 +1,2 @@
+# Empty dependencies file for two_locks_natle.
+# This may be replaced when dependencies are built.

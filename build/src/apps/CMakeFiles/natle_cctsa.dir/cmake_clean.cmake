@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natle_cctsa.dir/cctsa/assembler.cpp.o"
+  "CMakeFiles/natle_cctsa.dir/cctsa/assembler.cpp.o.d"
+  "libnatle_cctsa.a"
+  "libnatle_cctsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natle_cctsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

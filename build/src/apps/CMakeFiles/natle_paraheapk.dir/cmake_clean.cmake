@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natle_paraheapk.dir/paraheapk/paraheapk.cpp.o"
+  "CMakeFiles/natle_paraheapk.dir/paraheapk/paraheapk.cpp.o.d"
+  "libnatle_paraheapk.a"
+  "libnatle_paraheapk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natle_paraheapk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

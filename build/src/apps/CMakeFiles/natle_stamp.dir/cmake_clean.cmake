@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natle_stamp.dir/stamp/genome.cpp.o"
+  "CMakeFiles/natle_stamp.dir/stamp/genome.cpp.o.d"
+  "CMakeFiles/natle_stamp.dir/stamp/intruder.cpp.o"
+  "CMakeFiles/natle_stamp.dir/stamp/intruder.cpp.o.d"
+  "CMakeFiles/natle_stamp.dir/stamp/kernels.cpp.o"
+  "CMakeFiles/natle_stamp.dir/stamp/kernels.cpp.o.d"
+  "CMakeFiles/natle_stamp.dir/stamp/kmeans.cpp.o"
+  "CMakeFiles/natle_stamp.dir/stamp/kmeans.cpp.o.d"
+  "CMakeFiles/natle_stamp.dir/stamp/labyrinth.cpp.o"
+  "CMakeFiles/natle_stamp.dir/stamp/labyrinth.cpp.o.d"
+  "CMakeFiles/natle_stamp.dir/stamp/ssca2.cpp.o"
+  "CMakeFiles/natle_stamp.dir/stamp/ssca2.cpp.o.d"
+  "CMakeFiles/natle_stamp.dir/stamp/vacation.cpp.o"
+  "CMakeFiles/natle_stamp.dir/stamp/vacation.cpp.o.d"
+  "CMakeFiles/natle_stamp.dir/stamp/yada.cpp.o"
+  "CMakeFiles/natle_stamp.dir/stamp/yada.cpp.o.d"
+  "libnatle_stamp.a"
+  "libnatle_stamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natle_stamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

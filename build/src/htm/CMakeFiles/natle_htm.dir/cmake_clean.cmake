@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natle_htm.dir/env.cpp.o"
+  "CMakeFiles/natle_htm.dir/env.cpp.o.d"
+  "libnatle_htm.a"
+  "libnatle_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natle_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnatle_htm.a"
+)

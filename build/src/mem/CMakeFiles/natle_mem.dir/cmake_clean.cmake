@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natle_mem.dir/alloc.cpp.o"
+  "CMakeFiles/natle_mem.dir/alloc.cpp.o.d"
+  "libnatle_mem.a"
+  "libnatle_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natle_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

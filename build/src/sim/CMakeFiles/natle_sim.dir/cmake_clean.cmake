@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natle_sim.dir/fiber.cpp.o"
+  "CMakeFiles/natle_sim.dir/fiber.cpp.o.d"
+  "CMakeFiles/natle_sim.dir/fiber_switch.S.o"
+  "CMakeFiles/natle_sim.dir/machine.cpp.o"
+  "CMakeFiles/natle_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/natle_sim.dir/topology.cpp.o"
+  "CMakeFiles/natle_sim.dir/topology.cpp.o.d"
+  "libnatle_sim.a"
+  "libnatle_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/natle_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natle_workload.dir/setbench.cpp.o"
+  "CMakeFiles/natle_workload.dir/setbench.cpp.o.d"
+  "libnatle_workload.a"
+  "libnatle_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natle_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ds_test.cpp" "tests/CMakeFiles/ds_test.dir/ds_test.cpp.o" "gcc" "tests/CMakeFiles/ds_test.dir/ds_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/natle_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/natle_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/natle_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/natle_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

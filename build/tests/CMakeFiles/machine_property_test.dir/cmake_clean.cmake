@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_property_test.dir/machine_property_test.cpp.o"
+  "CMakeFiles/machine_property_test.dir/machine_property_test.cpp.o.d"
+  "machine_property_test"
+  "machine_property_test.pdb"
+  "machine_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
