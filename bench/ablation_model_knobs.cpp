@@ -7,16 +7,18 @@
 //       wrongly throttle a scalable workload;
 //   (4) hyperthread penalty — removes the slope changes at 18/54 threads.
 #include <cstdio>
+#include <memory>
 
-#include "workload/options.hpp"
+#include "exp/exp.hpp"
 #include "workload/setbench.hpp"
 
 using namespace natle;
 using namespace natle::workload;
 
-int main(int argc, char** argv) {
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
-  emitHeader("ablation_model_knobs (y = Mops/s)");
+namespace {
+
+void planAblation(const BenchOptions& opt, exp::Plan& plan) {
+  auto sweep = std::make_shared<exp::SetSweep>(1);
   SetBenchConfig base;
   base.key_range = 2048;
   base.update_pct = 100;
@@ -28,22 +30,22 @@ int main(int argc, char** argv) {
   for (uint32_t rt : {40u, 250u, 500u, 800u}) {
     SetBenchConfig cfg = base;
     cfg.machine.remote_transfer = rt;
+    char series[64];
+    std::snprintf(series, sizeof series, "remote-transfer-%u", rt);
     for (int n : {36, 37, 48, 72}) {
       cfg.nthreads = n;
-      char series[64];
-      std::snprintf(series, sizeof series, "remote-transfer-%u", rt);
-      emitRow(series, n, runSetBench(cfg).mops);
+      sweep->point(plan, series, n, cfg);
     }
   }
   // (2) HT penalty on/off.
   for (double ht : {1.0, 1.6}) {
     SetBenchConfig cfg = base;
     cfg.machine.ht_penalty = ht;
+    char series[64];
+    std::snprintf(series, sizeof series, "ht-penalty-%.1f", ht);
     for (int n : {12, 18, 24, 36}) {
       cfg.nthreads = n;
-      char series[64];
-      std::snprintf(series, sizeof series, "ht-penalty-%.1f", ht);
-      emitRow(series, n, runSetBench(cfg).mops);
+      sweep->point(plan, series, n, cfg);
     }
   }
   // (3) NATLE warm-up threshold.
@@ -52,14 +54,32 @@ int main(int argc, char** argv) {
     cfg.sync = SyncKind::kNatle;
     cfg.update_pct = 0;  // read-only scales on both sockets; throttling hurts
     cfg.natle.min_acquisitions = thr;
+    char series[64];
+    std::snprintf(series, sizeof series, "natle-warmup-thr-%llu",
+                  static_cast<unsigned long long>(thr));
     for (int n : {48, 72}) {
       cfg.nthreads = n;
-      char series[64];
-      std::snprintf(series, sizeof series, "natle-warmup-thr-%llu",
-                    static_cast<unsigned long long>(thr));
-      emitRow(series, n, runSetBench(cfg).mops);
+      sweep->point(plan, series, n, cfg);
     }
   }
-  std::fprintf(stderr, "ablation sweep complete\n");
-  return 0;
+  plan.emit = [sweep](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    for (const auto& p : sweep->aggregate(results)) {
+      rows.push_back({p.series, p.x, p.r.mops});
+    }
+    return rows;
+  };
 }
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    ablation, "ablation_model_knobs",
+    "Simulator-knob ablations: remote transfer, HT penalty, NATLE warm-up",
+    "DESIGN.md ablations", "y = Mops/s", planAblation);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("ablation_model_knobs", argc, argv);
+}
+#endif

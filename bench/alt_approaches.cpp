@@ -7,12 +7,16 @@
 //
 // Series: tle, natle, backoff-<cycles>, delegation-b<batch>.
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "ds/avl.hpp"
+#include "exp/exp.hpp"
 #include "sync/backoff_tle.hpp"
 #include "sync/delegation.hpp"
 #include "sync/natle.hpp"
-#include "workload/options.hpp"
+#include "workload/json.hpp"
 #include "workload/setbench.hpp"
 
 using namespace natle;
@@ -91,7 +95,6 @@ double runDelegation(int nclients, int batch, double measure_ms,
   const uint64_t t_end = mc.msToCycles(warmup_ms + measure_ms);
   env.setStatsStart(mc.msToCycles(warmup_ms));
   // One server per socket, on dedicated cores (threads 0 and 36).
-  std::vector<sim::SimThread*> done;
   auto* finished = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
   *finished = 0;
   for (int s = 0; s < mc.sockets; ++s) {
@@ -125,15 +128,25 @@ double runDelegation(int nclients, int batch, double measure_ms,
   return static_cast<double>(env.totals().ops) / (measure_ms * 1e-3) / 1e6;
 }
 
-}  // namespace
+std::string altConfigJson(const char* variant, int nthreads, uint64_t param,
+                          double measure, double warmup) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("variant").value(variant);
+  w.key("nthreads").value(nthreads);
+  w.key("param").value(param);
+  w.key("measure_ms").value(measure);
+  w.key("warmup_ms").value(warmup);
+  w.endObject();
+  return w.take();
+}
 
-int main(int argc, char** argv) {
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
-  emitHeader("alt_approaches (y = Mops/s; Section 4.1 alternatives)");
+void planAlt(const BenchOptions& opt, exp::Plan& plan) {
   const double measure = 1.5 * opt.time_scale;
   const double warmup = 0.8 * opt.time_scale;
   const std::vector<int> axis = {18, 36, 48, 72};
 
+  auto sweep = std::make_shared<exp::SetSweep>(1);
   SetBenchConfig cfg;
   cfg.key_range = kRange;
   cfg.update_pct = 100;
@@ -143,15 +156,29 @@ int main(int argc, char** argv) {
     cfg.sync = sync;
     for (int n : axis) {
       cfg.nthreads = n;
-      emitRow(toString(sync), n, runSetBench(cfg).mops);
+      sweep->point(plan, toString(sync), n, cfg);
     }
   }
+  const size_t n_sweep_jobs = plan.jobs.size();
+
+  auto labels = std::make_shared<std::vector<std::pair<std::string, double>>>();
   for (uint64_t backoff : {1000ull, 10000ull, 100000ull}) {
     for (int n : axis) {
       char series[48];
       std::snprintf(series, sizeof series, "backoff-%llu",
                     static_cast<unsigned long long>(backoff));
-      emitRow(series, n, runBackoff(n, backoff, measure, warmup));
+      exp::Job j;
+      j.series = series;
+      j.x = n;
+      j.seed = 7 + static_cast<uint64_t>(n);
+      j.config_json = altConfigJson("backoff", n, backoff, measure, warmup);
+      j.run = [n, backoff, measure, warmup] {
+        exp::PointData p;
+        p.value = runBackoff(n, backoff, measure, warmup);
+        return p;
+      };
+      labels->push_back({series, static_cast<double>(n)});
+      plan.jobs.push_back(std::move(j));
     }
   }
   for (int batch : {1, 8}) {
@@ -159,9 +186,46 @@ int main(int argc, char** argv) {
       const int clients = n > 2 ? n - 2 : 1;  // two cores serve
       char series[48];
       std::snprintf(series, sizeof series, "delegation-b%d", batch);
-      emitRow(series, n, runDelegation(clients, batch, measure, warmup));
+      exp::Job j;
+      j.series = series;
+      j.x = n;
+      j.seed = 7 + static_cast<uint64_t>(clients);
+      j.config_json = altConfigJson("delegation", n,
+                                    static_cast<uint64_t>(batch), measure,
+                                    warmup);
+      j.run = [clients, batch, measure, warmup] {
+        exp::PointData p;
+        p.value = runDelegation(clients, batch, measure, warmup);
+        return p;
+      };
+      labels->push_back({series, static_cast<double>(n)});
+      plan.jobs.push_back(std::move(j));
     }
   }
-  std::fprintf(stderr, "alt approaches done\n");
-  return 0;
+
+  plan.emit = [sweep, labels,
+               n_sweep_jobs](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    for (const auto& p : sweep->aggregate(results)) {
+      rows.push_back({p.series, p.x, p.r.mops});
+    }
+    for (size_t i = 0; i < labels->size(); ++i) {
+      rows.push_back({(*labels)[i].first, (*labels)[i].second,
+                      results[n_sweep_jobs + i].value});
+    }
+    return rows;
+  };
 }
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    alt, "alt_approaches",
+    "Section 4.1 alternatives: remote-socket backoff and key-range delegation",
+    "Section 4.1", "y = Mops/s; Section 4.1 alternatives", planAlt);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("alt_approaches", argc, argv);
+}
+#endif

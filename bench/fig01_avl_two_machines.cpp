@@ -2,9 +2,10 @@
 // Left panel: the large two-socket machine (speedup collapses as soon as a
 // thread runs on the second socket). Right panel: the small single-socket
 // machine (scales to saturation).
-#include <cstdio>
+#include <memory>
+#include <utility>
 
-#include "workload/options.hpp"
+#include "exp/exp.hpp"
 #include "workload/setbench.hpp"
 
 using namespace natle;
@@ -12,34 +13,50 @@ using namespace natle::workload;
 
 namespace {
 
-void runMachine(const char* series, const sim::MachineConfig& mc,
-                const BenchOptions& opt) {
-  SetBenchConfig cfg;
-  cfg.machine = mc;
-  cfg.key_range = 2048;
-  cfg.update_pct = 100;
-  cfg.sync = SyncKind::kTle;
-  cfg.measure_ms = 2.5 * opt.time_scale;
-  cfg.warmup_ms = 1.0 * opt.time_scale;
-  cfg.trials = opt.full ? 3 : 1;
-
-  double base = 0;
-  for (int n : threadAxis(mc, opt.full)) {
-    cfg.nthreads = n;
-    const SetBenchResult r = runSetBench(cfg);
-    if (n == 1) base = r.mops;
-    emitRow(series, n, base > 0 ? r.mops / base : 0);
-    std::fprintf(stderr, "%s n=%d mops=%.3f speedup=%.2f abort=%.3f\n", series,
-                 n, r.mops, base > 0 ? r.mops / base : 0, r.abort_rate);
+void planFig01(const BenchOptions& opt, exp::Plan& plan) {
+  auto sweep = std::make_shared<exp::SetSweep>(opt.full ? 3 : 1);
+  const std::pair<const char*, sim::MachineConfig> machines[] = {
+      {"large-tle20", sim::LargeMachine()},
+      {"small-tle20", sim::SmallMachine()},
+  };
+  for (const auto& [series, mc] : machines) {
+    SetBenchConfig cfg;
+    cfg.machine = mc;
+    cfg.key_range = 2048;
+    cfg.update_pct = 100;
+    cfg.sync = SyncKind::kTle;
+    cfg.measure_ms = 2.5 * opt.time_scale;
+    cfg.warmup_ms = 1.0 * opt.time_scale;
+    for (int n : threadAxis(mc, opt.full)) {
+      cfg.nthreads = n;
+      sweep->point(plan, series, n, cfg);
+    }
   }
+  plan.emit = [sweep](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    // Each series is normalized to its own 1-thread point (the first x).
+    std::string cur;
+    double base = 0;
+    for (const auto& p : sweep->aggregate(results)) {
+      if (p.series != cur) {
+        cur = p.series;
+        base = p.r.mops;
+      }
+      rows.push_back({p.series, p.x, base > 0 ? p.r.mops / base : 0});
+    }
+    return rows;
+  };
 }
 
 }  // namespace
 
+NATLE_REGISTER_EXPERIMENT(
+    fig01, "fig01_avl_two_machines",
+    "AVL, 100% updates, keys [0,2048), TLE-20: speedup on both machines",
+    "Figure 1", "y = speedup over 1 thread", planFig01);
+
+#ifndef NATLE_EXP_NO_MAIN
 int main(int argc, char** argv) {
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
-  emitHeader("fig01_avl_two_machines (y = speedup over 1 thread)");
-  runMachine("large-tle20", sim::LargeMachine(), opt);
-  runMachine("small-tle20", sim::SmallMachine(), opt);
-  return 0;
+  return natle::exp::standaloneMain("fig01_avl_two_machines", argc, argv);
 }
+#endif

@@ -3,20 +3,19 @@
 //   (a) throughput for TLE-{5,20}{,-hint-bit,-count-lock}
 //   (b) percent of TLE-20 transactions that commit after at least one
 //       failure with the hint bit clear
-#include <cstdio>
+#include <memory>
 #include <utility>
 #include <vector>
 
-#include "workload/options.hpp"
+#include "exp/exp.hpp"
 #include "workload/setbench.hpp"
 
 using namespace natle;
 using namespace natle::workload;
 
-int main(int argc, char** argv) {
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
-  emitHeader("fig02_retry_policies (a: y = Mops/s; b: y = % commits)");
+namespace {
 
+void planFig02(const BenchOptions& opt, exp::Plan& plan) {
   const std::vector<std::pair<const char*, sync::TlePolicy>> policies = {
       {"TLE-20", sync::Tle20()},
       {"TLE-5", sync::Tle5()},
@@ -25,29 +24,43 @@ int main(int argc, char** argv) {
       {"TLE-20-count-lock", sync::Tle20CountLock()},
       {"TLE-5-count-lock", sync::Tle5CountLock()},
   };
-
+  auto sweep = std::make_shared<exp::SetSweep>(opt.full ? 3 : 1);
   SetBenchConfig cfg;
   cfg.key_range = 131072;
   cfg.update_pct = 100;
   cfg.sync = SyncKind::kTle;
   cfg.measure_ms = 2.0 * opt.time_scale;
   cfg.warmup_ms = 0.8 * opt.time_scale;
-  cfg.trials = opt.full ? 3 : 1;
-
   const auto axis = threadAxis(cfg.machine, opt.full);
   for (const auto& [name, pol] : policies) {
     cfg.tle = pol;
     for (int n : axis) {
       cfg.nthreads = n;
-      const SetBenchResult r = runSetBench(cfg);
-      emitRow(name, n, r.mops);
-      if (std::string(name) == "TLE-20") {
-        emitRow("TLE-20-pct-commit-after-hintclear", n, r.hintclear_commit_pct);
-      }
-      std::fprintf(stderr, "%s n=%d mops=%.3f hintclear%%=%.2f locks=%llu\n",
-                   name, n, r.mops, r.hintclear_commit_pct,
-                   static_cast<unsigned long long>(r.stats.lock_acquires));
+      sweep->point(plan, name, n, cfg);
     }
   }
-  return 0;
+  plan.emit = [sweep](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    for (const auto& p : sweep->aggregate(results)) {
+      rows.push_back({p.series, p.x, p.r.mops});
+      if (p.series == "TLE-20") {
+        rows.push_back({"TLE-20-pct-commit-after-hintclear", p.x,
+                        p.r.hintclear_commit_pct});
+      }
+    }
+    return rows;
+  };
 }
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    fig02, "fig02_retry_policies",
+    "AVL, 100% updates, keys [0,131072): TLE retry-policy shootout",
+    "Figure 2", "a: y = Mops/s; b: y = % commits", planFig02);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("fig02_retry_policies", argc, argv);
+}
+#endif

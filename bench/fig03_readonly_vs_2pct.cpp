@@ -1,33 +1,48 @@
 // Figure 3: AVL tree, key range [0, 2048), TLE-20. Read-only scales to all
 // 72 threads; just 2% updates flattens the curve after 36 threads.
-#include <cstdio>
+#include <memory>
 
-#include "workload/options.hpp"
+#include "exp/exp.hpp"
 #include "workload/setbench.hpp"
 
 using namespace natle;
 using namespace natle::workload;
 
-int main(int argc, char** argv) {
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
-  emitHeader("fig03_readonly_vs_2pct (y = Mops/s)");
+namespace {
+
+void planFig03(const BenchOptions& opt, exp::Plan& plan) {
+  auto sweep = std::make_shared<exp::SetSweep>(opt.full ? 3 : 1);
   SetBenchConfig cfg;
   cfg.key_range = 2048;
   cfg.sync = SyncKind::kTle;
   cfg.measure_ms = 2.0 * opt.time_scale;
   cfg.warmup_ms = 0.8 * opt.time_scale;
-  cfg.trials = opt.full ? 3 : 1;
   for (int upd : {0, 2}) {
     cfg.update_pct = upd;
-    const std::string series =
-        upd == 0 ? "100%-lookup" : "2%-updates";
+    const char* series = upd == 0 ? "100%-lookup" : "2%-updates";
     for (int n : threadAxis(cfg.machine, opt.full)) {
       cfg.nthreads = n;
-      const SetBenchResult r = runSetBench(cfg);
-      emitRow(series, n, r.mops);
-      std::fprintf(stderr, "%s n=%d mops=%.3f abort=%.3f\n", series.c_str(), n,
-                   r.mops, r.abort_rate);
+      sweep->point(plan, series, n, cfg);
     }
   }
-  return 0;
+  plan.emit = [sweep](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    for (const auto& p : sweep->aggregate(results)) {
+      rows.push_back({p.series, p.x, p.r.mops});
+    }
+    return rows;
+  };
 }
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    fig03, "fig03_readonly_vs_2pct",
+    "AVL, keys [0,2048), TLE-20: read-only scales, 2% updates flattens",
+    "Figure 3", "y = Mops/s", planFig03);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("fig03_readonly_vs_2pct", argc, argv);
+}
+#endif

@@ -3,36 +3,55 @@
 // it needs no synchronization — comparing the two isolates how much HTM
 // amplifies NUMA effects (the paper: no-sync loses 26% from 36->72 threads,
 // TLE loses 75%).
-#include <cstdio>
+#include <memory>
 
-#include "workload/options.hpp"
+#include "exp/exp.hpp"
 #include "workload/setbench.hpp"
 
 using namespace natle;
 using namespace natle::workload;
 
-int main(int argc, char** argv) {
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
-  emitHeader("fig04_search_replace (y = speedup over 1 thread)");
+namespace {
+
+void planFig04(const BenchOptions& opt, exp::Plan& plan) {
+  auto sweep = std::make_shared<exp::SetSweep>(opt.full ? 3 : 1);
   SetBenchConfig cfg;
   cfg.key_range = 4096;
   cfg.search_replace = true;
   cfg.measure_ms = 2.0 * opt.time_scale;
   cfg.warmup_ms = 0.8 * opt.time_scale;
-  cfg.trials = opt.full ? 3 : 1;
   for (SyncKind sync : {SyncKind::kTle, SyncKind::kNone}) {
     cfg.sync = sync;
     const char* series = sync == SyncKind::kTle ? "TLE" : "no-sync";
-    double base = 0;
     for (int n : threadAxis(cfg.machine, opt.full)) {
       cfg.nthreads = n;
-      const SetBenchResult r = runSetBench(cfg);
-      if (n == 1) base = r.mops;
-      emitRow(series, n, base > 0 ? r.mops / base : 0);
-      std::fprintf(stderr, "%s n=%d mops=%.3f speedup=%.2f abort=%.3f\n",
-                   series, n, r.mops, base > 0 ? r.mops / base : 0,
-                   r.abort_rate);
+      sweep->point(plan, series, n, cfg);
     }
   }
-  return 0;
+  plan.emit = [sweep](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    std::string cur;
+    double base = 0;
+    for (const auto& p : sweep->aggregate(results)) {
+      if (p.series != cur) {
+        cur = p.series;
+        base = p.r.mops;
+      }
+      rows.push_back({p.series, p.x, base > 0 ? p.r.mops / base : 0});
+    }
+    return rows;
+  };
 }
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    fig04, "fig04_search_replace",
+    "Search-and-replace, keys [0,4096): TLE vs no-sync NUMA amplification",
+    "Figure 4", "y = speedup over 1 thread", planFig04);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("fig04_search_replace", argc, argv);
+}
+#endif

@@ -3,38 +3,58 @@
 // fraction aborting for each hardware-reported cause. The paper's headline:
 // the abort rate jumps from ~10% at 36 threads to ~33% at 42, almost all of
 // it data conflicts.
-#include <cstdio>
+#include <memory>
+#include <string>
 
-#include "workload/options.hpp"
+#include "exp/exp.hpp"
+#include "htm/abort.hpp"
 #include "workload/setbench.hpp"
 
 using namespace natle;
 using namespace natle::workload;
 
-int main(int argc, char** argv) {
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
-  emitHeader("fig05_abort_breakdown (y = fraction of tx attempts)");
+namespace {
+
+void planFig05(const BenchOptions& opt, exp::Plan& plan) {
+  auto sweep = std::make_shared<exp::SetSweep>(opt.full ? 3 : 1);
   SetBenchConfig cfg;
   cfg.key_range = 4096;
   cfg.search_replace = true;
   cfg.sync = SyncKind::kTle;
   cfg.measure_ms = 2.0 * opt.time_scale;
   cfg.warmup_ms = 0.8 * opt.time_scale;
-  cfg.trials = opt.full ? 3 : 1;
   for (int n : threadAxis(cfg.machine, opt.full)) {
     cfg.nthreads = n;
-    const SetBenchResult r = runSetBench(cfg);
-    const auto& s = r.stats;
-    const double begins =
-        s.tx_begins > 0 ? static_cast<double>(s.tx_begins) : 1.0;
-    emitRow("abort-total", n, static_cast<double>(s.totalAborts()) / begins);
-    for (int reason = 1; reason < htm::kAbortReasonCount; ++reason) {
-      emitRow(std::string("abort-") +
-                  htm::toString(static_cast<htm::AbortReason>(reason)),
-              n, static_cast<double>(s.tx_aborts[reason]) / begins);
-    }
-    std::fprintf(stderr, "n=%d abort_rate=%.3f conflict_frac=%.3f\n", n,
-                 r.abort_rate, r.conflict_abort_fraction);
+    sweep->point(plan, "tle", n, cfg);
   }
-  return 0;
+  plan.emit = [sweep](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    for (const auto& p : sweep->aggregate(results)) {
+      const auto& s = p.r.stats;
+      const double begins =
+          s.tx_begins > 0 ? static_cast<double>(s.tx_begins) : 1.0;
+      rows.push_back(
+          {"abort-total", p.x, static_cast<double>(s.totalAborts()) / begins});
+      for (int reason = 1; reason < htm::kAbortReasonCount; ++reason) {
+        rows.push_back({std::string("abort-") +
+                            htm::toString(static_cast<htm::AbortReason>(reason)),
+                        p.x,
+                        static_cast<double>(s.tx_aborts[reason]) / begins});
+      }
+    }
+    return rows;
+  };
 }
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    fig05, "fig05_abort_breakdown",
+    "Abort-cause breakdown for the Figure 4 TLE curve", "Figure 5",
+    "y = fraction of tx attempts", planFig05);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("fig05_abort_breakdown", argc, argv);
+}
+#endif

@@ -5,17 +5,18 @@
 // enough delay the abort rate jumps and becomes conflict-dominated — the
 // same signature as adding a second socket, supporting the widened
 // window-of-contention hypothesis.
-#include <cstdio>
+#include <memory>
 
-#include "workload/options.hpp"
+#include "exp/exp.hpp"
 #include "workload/setbench.hpp"
 
 using namespace natle;
 using namespace natle::workload;
 
-int main(int argc, char** argv) {
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
-  emitHeader("fig06_delay_injection (x = delay loop iterations)");
+namespace {
+
+void planFig06(const BenchOptions& opt, exp::Plan& plan) {
+  auto sweep = std::make_shared<exp::SetSweep>(opt.full ? 3 : 1);
   SetBenchConfig cfg;
   cfg.key_range = 131072;
   cfg.update_pct = 100;
@@ -23,20 +24,33 @@ int main(int argc, char** argv) {
   cfg.nthreads = 36;  // single socket under the default pinning
   cfg.measure_ms = 2.0 * opt.time_scale;
   cfg.warmup_ms = 0.8 * opt.time_scale;
-  cfg.trials = opt.full ? 3 : 1;
   // ~9 cycles per delay-loop iteration (small constant number of
   // instructions, per the paper's footnote).
   constexpr uint64_t kCyclesPerIter = 9;
-  for (uint64_t iters : {0ull, 10ull, 30ull, 100ull, 300ull, 1000ull, 3000ull,
-                         10000ull}) {
+  for (uint64_t iters :
+       {0ull, 10ull, 30ull, 100ull, 300ull, 1000ull, 3000ull, 10000ull}) {
     cfg.tle.precommit_delay = iters * kCyclesPerIter;
-    const SetBenchResult r = runSetBench(cfg);
-    emitRow("abort-rate", static_cast<double>(iters), r.abort_rate);
-    emitRow("conflict-fraction", static_cast<double>(iters),
-            r.conflict_abort_fraction);
-    std::fprintf(stderr, "delay=%llu abort=%.3f conflict_frac=%.3f mops=%.3f\n",
-                 static_cast<unsigned long long>(iters), r.abort_rate,
-                 r.conflict_abort_fraction, r.mops);
+    sweep->point(plan, "delay", static_cast<double>(iters), cfg);
   }
-  return 0;
+  plan.emit = [sweep](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    for (const auto& p : sweep->aggregate(results)) {
+      rows.push_back({"abort-rate", p.x, p.r.abort_rate});
+      rows.push_back({"conflict-fraction", p.x, p.r.conflict_abort_fraction});
+    }
+    return rows;
+  };
 }
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    fig06, "fig06_delay_injection",
+    "36 threads on one socket, pre-commit delay sweep (hypothesis check)",
+    "Figure 6", "x = delay loop iterations", planFig06);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("fig06_delay_injection", argc, argv);
+}
+#endif

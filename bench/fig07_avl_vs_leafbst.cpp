@@ -2,34 +2,50 @@
 // range [0, 2048). Leaf-oriented updates only touch lines near the leaves,
 // so the tree top stays cached on both sockets and the structure scales
 // across sockets where the AVL tree does not.
-#include <cstdio>
+#include <memory>
 
-#include "workload/options.hpp"
+#include "exp/exp.hpp"
 #include "workload/setbench.hpp"
 
 using namespace natle;
 using namespace natle::workload;
 
-int main(int argc, char** argv) {
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
-  emitHeader("fig07_avl_vs_leafbst (y = Mops/s)");
+namespace {
+
+void planFig07(const BenchOptions& opt, exp::Plan& plan) {
+  auto sweep = std::make_shared<exp::SetSweep>(opt.full ? 3 : 1);
   SetBenchConfig cfg;
   cfg.key_range = 2048;
   cfg.update_pct = 20;
   cfg.sync = SyncKind::kTle;
   cfg.measure_ms = 2.0 * opt.time_scale;
   cfg.warmup_ms = 0.8 * opt.time_scale;
-  cfg.trials = opt.full ? 3 : 1;
   for (DsKind ds : {DsKind::kAvl, DsKind::kLeafBst}) {
     cfg.ds = ds;
     const char* series = ds == DsKind::kAvl ? "AVL" : "leaf-BST";
     for (int n : threadAxis(cfg.machine, opt.full)) {
       cfg.nthreads = n;
-      const SetBenchResult r = runSetBench(cfg);
-      emitRow(series, n, r.mops);
-      std::fprintf(stderr, "%s n=%d mops=%.3f abort=%.3f\n", series, n, r.mops,
-                   r.abort_rate);
+      sweep->point(plan, series, n, cfg);
     }
   }
-  return 0;
+  plan.emit = [sweep](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    for (const auto& p : sweep->aggregate(results)) {
+      rows.push_back({p.series, p.x, p.r.mops});
+    }
+    return rows;
+  };
 }
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    fig07, "fig07_avl_vs_leafbst",
+    "AVL vs leaf-oriented BST, 20% updates: leaf updates dodge the NUMA cliff",
+    "Figure 7", "y = Mops/s", planFig07);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("fig07_avl_vs_leafbst", argc, argv);
+}
+#endif

@@ -10,10 +10,12 @@
 // Paper numbers: ~2^23 LLC misses, fewer than 100 aborts. We use a smaller
 // array by default (512 MiB of address space is unnecessary to make the
 // point); --full uses the paper's 1 GiB.
-#include <cstdio>
+#include <memory>
+#include <string>
 
+#include "exp/exp.hpp"
 #include "htm/env.hpp"
-#include "workload/options.hpp"
+#include "workload/json.hpp"
 
 using namespace natle;
 using namespace natle::htm;
@@ -21,7 +23,7 @@ using namespace natle::workload;
 
 namespace {
 
-void runVariant(const char* series, int reader_thread_index, size_t array_bytes) {
+exp::PointData runVariant(int reader_thread_index, size_t array_bytes) {
   sim::MachineConfig mc = sim::LargeMachine();
   Env env(mc);
   // Home the array on socket 0; the reader is on socket 0 (local variant) or
@@ -46,25 +48,58 @@ void runVariant(const char* series, int reader_thread_index, size_t array_bytes)
       sim::placeThread(mc, sim::PinPolicy::kFillSocketFirst,
                        reader_thread_index));
   env.run();
-  const TxStats t = env.totals();
-  emitRow(std::string(series) + "-llc-misses", 0,
-          static_cast<double>(t.dram_misses));
-  emitRow(std::string(series) + "-aborts", 0, static_cast<double>(aborts));
-  std::fprintf(stderr,
-               "%s: reads=%llu llc_misses=%llu aborts=%llu (paper: misses ~= "
-               "reads, aborts < 100)\n",
-               series, static_cast<unsigned long long>(txs),
-               static_cast<unsigned long long>(t.dram_misses),
-               static_cast<unsigned long long>(aborts));
+  exp::PointData p;
+  p.stats = env.totals();
+  p.has_stats = true;
+  p.value = static_cast<double>(p.stats.dram_misses);
+  p.aux = {{"tx_reads", static_cast<double>(txs)},
+           {"tx_aborts", static_cast<double>(aborts)}};
+  return p;
+}
+
+void planFig08(const BenchOptions& opt, exp::Plan& plan) {
+  const size_t bytes = opt.full ? (1ull << 30) : (128ull << 20);
+  const struct {
+    const char* series;
+    int reader;
+  } variants[] = {{"local", 0}, {"cross-socket", 40}};
+  for (const auto& v : variants) {
+    exp::Job j;
+    j.series = v.series;
+    j.x = 0;
+    j.seed = 1;
+    JsonWriter w;
+    w.beginObject();
+    w.key("array_bytes").value(static_cast<uint64_t>(bytes));
+    w.key("reader_thread_index").value(v.reader);
+    w.endObject();
+    j.config_json = w.take();
+    const int reader = v.reader;
+    j.run = [reader, bytes] { return runVariant(reader, bytes); };
+    plan.jobs.push_back(std::move(j));
+  }
+  plan.emit = [](const std::vector<exp::PointData>& results) {
+    const char* names[] = {"local", "cross-socket"};
+    std::vector<exp::Record> rows;
+    for (size_t i = 0; i < results.size(); ++i) {
+      rows.push_back({std::string(names[i]) + "-llc-misses", 0,
+                      static_cast<double>(results[i].stats.dram_misses)});
+      rows.push_back(
+          {std::string(names[i]) + "-aborts", 0, results[i].aux[1].second});
+    }
+    return rows;
+  };
 }
 
 }  // namespace
 
+NATLE_REGISTER_EXPERIMENT(
+    fig08, "fig08_llc_miss_aborts",
+    "Single-threaded LLC-miss sweep: misses do not abort transactions",
+    "Section 3.2", "in-text experiment, Section 3.2", planFig08);
+
+#ifndef NATLE_EXP_NO_MAIN
 int main(int argc, char** argv) {
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
-  emitHeader("fig08_llc_miss_aborts (in-text experiment, Section 3.2)");
-  const size_t bytes = opt.full ? (1ull << 30) : (128ull << 20);
-  runVariant("local", 0, bytes);
-  runVariant("cross-socket", 40, bytes);
-  return 0;
+  return natle::exp::standaloneMain("fig08_llc_miss_aborts", argc, argv);
 }
+#endif

@@ -4,21 +4,22 @@
 // that scale across sockets (read-only) but holds near-peak throughput on
 // workloads that collapse under TLE.
 #include <cstdio>
+#include <memory>
 
-#include "workload/options.hpp"
+#include "exp/exp.hpp"
 #include "workload/setbench.hpp"
 
 using namespace natle;
 using namespace natle::workload;
 
-int main(int argc, char** argv) {
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
-  emitHeader("fig12_avl_tle_vs_natle (y = Mops/s)");
+namespace {
+
+void planFig12(const BenchOptions& opt, exp::Plan& plan) {
+  auto sweep = std::make_shared<exp::SetSweep>(opt.full ? 3 : 1);
   SetBenchConfig cfg;
   cfg.key_range = 2048;
   cfg.measure_ms = 2.0 * opt.time_scale;
   cfg.warmup_ms = 1.0 * opt.time_scale;
-  cfg.trials = opt.full ? 3 : 1;
   for (bool ext : {false, true}) {
     cfg.ext.max_units = ext ? 256 : 0;
     for (int upd : {0, 20, 100}) {
@@ -26,18 +27,33 @@ int main(int argc, char** argv) {
       for (SyncKind sync : {SyncKind::kTle, SyncKind::kNatle}) {
         cfg.sync = sync;
         char series[64];
-        std::snprintf(series, sizeof series, "%s-upd%d-%s", toString(sync), upd,
-                      ext ? "extwork" : "nowork");
+        std::snprintf(series, sizeof series, "%s-upd%d-%s", toString(sync),
+                      upd, ext ? "extwork" : "nowork");
         for (int n : threadAxis(cfg.machine, opt.full)) {
           cfg.nthreads = n;
-          const SetBenchResult r = runSetBench(cfg);
-          emitRow(series, n, r.mops);
-          std::fprintf(stderr, "%s n=%d mops=%.3f abort=%.3f locks=%llu\n",
-                       series, n, r.mops, r.abort_rate,
-                       static_cast<unsigned long long>(r.stats.lock_acquires));
+          sweep->point(plan, series, n, cfg);
         }
       }
     }
   }
-  return 0;
+  plan.emit = [sweep](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    for (const auto& p : sweep->aggregate(results)) {
+      rows.push_back({p.series, p.x, p.r.mops});
+    }
+    return rows;
+  };
 }
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    fig12, "fig12_avl_tle_vs_natle",
+    "AVL, TLE vs NATLE across update fraction x external work panels",
+    "Figure 12", "y = Mops/s", planFig12);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("fig12_avl_tle_vs_natle", argc, argv);
+}
+#endif

@@ -3,22 +3,23 @@
 // only nodes near the leaves, so TLE is not prone to the NUMA effect and
 // NATLE chooses both sockets; the skip list behaves like the AVL tree.
 #include <cstdio>
+#include <memory>
 
-#include "workload/options.hpp"
+#include "exp/exp.hpp"
 #include "workload/setbench.hpp"
 
 using namespace natle;
 using namespace natle::workload;
 
-int main(int argc, char** argv) {
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
-  emitHeader("fig13_bst_skiplist (y = Mops/s)");
+namespace {
+
+void planFig13(const BenchOptions& opt, exp::Plan& plan) {
+  auto sweep = std::make_shared<exp::SetSweep>(opt.full ? 3 : 1);
   SetBenchConfig cfg;
   cfg.key_range = 2048;
   cfg.ext.max_units = 256;
   cfg.measure_ms = 2.0 * opt.time_scale;
   cfg.warmup_ms = 1.0 * opt.time_scale;
-  cfg.trials = opt.full ? 3 : 1;
   for (DsKind ds : {DsKind::kLeafBst, DsKind::kSkipList}) {
     cfg.ds = ds;
     for (int upd : {20, 100}) {
@@ -30,13 +31,29 @@ int main(int argc, char** argv) {
                       toString(sync), upd);
         for (int n : threadAxis(cfg.machine, opt.full)) {
           cfg.nthreads = n;
-          const SetBenchResult r = runSetBench(cfg);
-          emitRow(series, n, r.mops);
-          std::fprintf(stderr, "%s n=%d mops=%.3f abort=%.3f\n", series, n,
-                       r.mops, r.abort_rate);
+          sweep->point(plan, series, n, cfg);
         }
       }
     }
   }
-  return 0;
+  plan.emit = [sweep](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    for (const auto& p : sweep->aggregate(results)) {
+      rows.push_back({p.series, p.x, p.r.mops});
+    }
+    return rows;
+  };
 }
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    fig13, "fig13_bst_skiplist",
+    "Leaf-BST and skip list under TLE vs NATLE with external work",
+    "Figure 13", "y = Mops/s", planFig13);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("fig13_bst_skiplist", argc, argv);
+}
+#endif

@@ -3,23 +3,24 @@
 // to the NUMA effect, and NATLE's profiling switches to one-socket-at-a-time
 // mode. Panels: (a) 40% updates, (b) 100% updates.
 #include <cstdio>
+#include <memory>
 
-#include "workload/options.hpp"
+#include "exp/exp.hpp"
 #include "workload/setbench.hpp"
 
 using namespace natle;
 using namespace natle::workload;
 
-int main(int argc, char** argv) {
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
-  emitHeader("fig14_bst_smallrange (y = Mops/s)");
+namespace {
+
+void planFig14(const BenchOptions& opt, exp::Plan& plan) {
+  auto sweep = std::make_shared<exp::SetSweep>(opt.full ? 3 : 1);
   SetBenchConfig cfg;
   cfg.key_range = 128;
   cfg.ds = DsKind::kLeafBst;
   cfg.ext.max_units = 256;
   cfg.measure_ms = 2.0 * opt.time_scale;
   cfg.warmup_ms = 1.0 * opt.time_scale;
-  cfg.trials = opt.full ? 3 : 1;
   for (int upd : {40, 100}) {
     cfg.update_pct = upd;
     for (SyncKind sync : {SyncKind::kTle, SyncKind::kNatle}) {
@@ -28,12 +29,28 @@ int main(int argc, char** argv) {
       std::snprintf(series, sizeof series, "%s-upd%d", toString(sync), upd);
       for (int n : threadAxis(cfg.machine, opt.full)) {
         cfg.nthreads = n;
-        const SetBenchResult r = runSetBench(cfg);
-        emitRow(series, n, r.mops);
-        std::fprintf(stderr, "%s n=%d mops=%.3f abort=%.3f\n", series, n,
-                     r.mops, r.abort_rate);
+        sweep->point(plan, series, n, cfg);
       }
     }
   }
-  return 0;
+  plan.emit = [sweep](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    for (const auto& p : sweep->aggregate(results)) {
+      rows.push_back({p.series, p.x, p.r.mops});
+    }
+    return rows;
+  };
 }
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    fig14, "fig14_bst_smallrange",
+    "Leaf-BST with tiny key range [0,128): NATLE throttles to one socket",
+    "Figure 14", "y = Mops/s", planFig14);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("fig14_bst_smallrange", argc, argv);
+}
+#endif

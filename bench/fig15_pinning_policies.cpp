@@ -4,23 +4,24 @@
 // load and occasionally migrates threads). Both place threads on the second
 // socket from the start, so NATLE's benefit appears at low thread counts.
 #include <cstdio>
+#include <memory>
 
-#include "workload/options.hpp"
+#include "exp/exp.hpp"
 #include "workload/setbench.hpp"
 
 using namespace natle;
 using namespace natle::workload;
 
-int main(int argc, char** argv) {
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
-  emitHeader("fig15_pinning_policies (y = Mops/s)");
+namespace {
+
+void planFig15(const BenchOptions& opt, exp::Plan& plan) {
+  auto sweep = std::make_shared<exp::SetSweep>(opt.full ? 3 : 1);
   SetBenchConfig cfg;
   cfg.key_range = 2048;
   cfg.update_pct = 100;
   cfg.ext.max_units = 256;
   cfg.measure_ms = 2.0 * opt.time_scale;
   cfg.warmup_ms = 1.0 * opt.time_scale;
-  cfg.trials = opt.full ? 3 : 1;
   for (sim::PinPolicy pin :
        {sim::PinPolicy::kAlternateSockets, sim::PinPolicy::kUnpinned}) {
     cfg.pin = pin;
@@ -31,12 +32,28 @@ int main(int argc, char** argv) {
                     toString(sync));
       for (int n : threadAxis(cfg.machine, opt.full)) {
         cfg.nthreads = n;
-        const SetBenchResult r = runSetBench(cfg);
-        emitRow(series, n, r.mops);
-        std::fprintf(stderr, "%s n=%d mops=%.3f abort=%.3f\n", series, n,
-                     r.mops, r.abort_rate);
+        sweep->point(plan, series, n, cfg);
       }
     }
   }
-  return 0;
+  plan.emit = [sweep](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    for (const auto& p : sweep->aggregate(results)) {
+      rows.push_back({p.series, p.x, p.r.mops});
+    }
+    return rows;
+  };
 }
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    fig15, "fig15_pinning_policies",
+    "Alternate-socket and unpinned placement: NATLE's benefit moves early",
+    "Figure 15", "y = Mops/s", planFig15);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("fig15_pinning_policies", argc, argv);
+}
+#endif

@@ -4,13 +4,15 @@
 // throttles each lock independently: the update lock alternates sockets
 // while the search lock keeps using both — so the combined throughput keeps
 // scaling past 36 threads where TLE collapses.
-#include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "ds/avl.hpp"
+#include "exp/exp.hpp"
 #include "sync/natle.hpp"
 #include "sync/tle.hpp"
-#include "workload/options.hpp"
+#include "workload/json.hpp"
 #include "workload/setbench.hpp"
 
 using namespace natle;
@@ -106,25 +108,64 @@ TwoTreesResult runTwoTrees(int nthreads, bool use_natle, double measure_ms,
   return r;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
-  emitHeader("fig16_two_trees (y = Mops/s)");
+void planFig16(const BenchOptions& opt, exp::Plan& plan) {
   const double measure = 2.0 * opt.time_scale;
   const double warmup = 1.0 * opt.time_scale;
+  auto labels = std::make_shared<std::vector<std::pair<std::string, double>>>();
   for (bool use_natle : {false, true}) {
     const char* alg = use_natle ? "natle" : "tle";
     for (int n : threadAxis(sim::LargeMachine(), opt.full)) {
       if (n % 2 != 0) continue;  // the paper runs even thread counts only
-      const TwoTreesResult r =
-          runTwoTrees(n, use_natle, measure, warmup, 1 + n);
-      emitRow(std::string(alg) + "-combined", n, r.update_mops + r.search_mops);
-      emitRow(std::string(alg) + "-updates-tree", n, r.update_mops);
-      emitRow(std::string(alg) + "-search-tree", n, r.search_mops);
-      std::fprintf(stderr, "%s n=%d upd=%.2f srch=%.2f\n", alg, n,
-                   r.update_mops, r.search_mops);
+      const uint64_t seed = 1 + static_cast<uint64_t>(n);
+      exp::Job j;
+      j.series = alg;
+      j.x = n;
+      j.seed = seed;
+      JsonWriter w;
+      w.beginObject();
+      w.key("nthreads").value(n);
+      w.key("natle").value(use_natle);
+      w.key("key_range").value(int64_t{2048});
+      w.key("measure_ms").value(measure);
+      w.key("warmup_ms").value(warmup);
+      w.endObject();
+      j.config_json = w.take();
+      j.run = [n, use_natle, measure, warmup, seed] {
+        const TwoTreesResult r =
+            runTwoTrees(n, use_natle, measure, warmup, seed);
+        exp::PointData p;
+        p.value = r.update_mops + r.search_mops;
+        p.aux = {{"update_mops", r.update_mops},
+                 {"search_mops", r.search_mops}};
+        return p;
+      };
+      labels->push_back({alg, static_cast<double>(n)});
+      plan.jobs.push_back(std::move(j));
     }
   }
-  return 0;
+  plan.emit = [labels](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    for (size_t i = 0; i < results.size(); ++i) {
+      const auto& [alg, n] = (*labels)[i];
+      const double upd = results[i].aux[0].second;
+      const double srch = results[i].aux[1].second;
+      rows.push_back({alg + "-combined", n, upd + srch});
+      rows.push_back({alg + "-updates-tree", n, upd});
+      rows.push_back({alg + "-search-tree", n, srch});
+    }
+    return rows;
+  };
 }
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    fig16, "fig16_two_trees",
+    "Two locks, two trees: NATLE throttles each lock independently",
+    "Figure 16", "y = Mops/s", planFig16);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("fig16_two_trees", argc, argv);
+}
+#endif

@@ -5,19 +5,21 @@
 // in 7 of 9 charts TLE's runtime skyrockets past 36 threads while NATLE
 // stays roughly flat.
 #include <cstdio>
+#include <vector>
 
 #include "apps/stamp/stamp.hpp"
-#include "workload/options.hpp"
+#include "exp/exp.hpp"
+#include "workload/json.hpp"
 
 using namespace natle;
 using namespace natle::apps::stamp;
 using namespace natle::workload;
 
-int main(int argc, char** argv) {
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
-  emitHeader("fig17_stamp (y = runtime in simulated ms; lower is better)");
-  StampConfig cfg;
-  cfg.scale = 1.0 * opt.time_scale;
+namespace {
+
+void planFig17(const BenchOptions& opt, exp::Plan& plan) {
+  StampConfig base;
+  base.scale = 1.0 * opt.time_scale;
   const std::vector<int> axis =
       opt.full ? std::vector<int>{1, 2, 4, 8, 12, 18, 24, 30, 36, 40, 44,
                                   48, 54, 63, 72}
@@ -25,21 +27,52 @@ int main(int argc, char** argv) {
   for (const auto& k : kernels()) {
     for (bool natle : {false, true}) {
       for (int n : axis) {
+        StampConfig cfg = base;
         cfg.nthreads = n;
         cfg.natle = natle;
-        cfg.seed = 17 + n;
-        const StampResult r = k.fn(cfg);
+        cfg.seed = 17 + static_cast<uint64_t>(n);
         char series[64];
         std::snprintf(series, sizeof series, "%s-%s", k.name,
                       natle ? "natle" : "tle");
-        emitRow(series, n, r.sim_ms);
-        std::fprintf(stderr, "%s n=%d ms=%.3f commits=%llu aborts=%llu locks=%llu\n",
-                     series, n, r.sim_ms,
-                     static_cast<unsigned long long>(r.tx_commits),
-                     static_cast<unsigned long long>(r.tx_aborts),
-                     static_cast<unsigned long long>(r.lock_acquires));
+        exp::Job j;
+        j.series = series;
+        j.x = n;
+        j.seed = cfg.seed;
+        JsonWriter w;
+        w.beginObject();
+        w.key("kernel").value(k.name);
+        w.key("nthreads").value(n);
+        w.key("natle").value(natle);
+        w.key("scale").value(cfg.scale);
+        w.key("seed").value(cfg.seed);
+        w.endObject();
+        j.config_json = w.take();
+        const KernelFn fn = k.fn;
+        j.run = [fn, cfg] {
+          const StampResult r = fn(cfg);
+          exp::PointData p;
+          p.value = r.sim_ms;
+          p.aux = {{"tx_commits", static_cast<double>(r.tx_commits)},
+                   {"tx_aborts", static_cast<double>(r.tx_aborts)},
+                   {"lock_acquires", static_cast<double>(r.lock_acquires)}};
+          return p;
+        };
+        plan.jobs.push_back(std::move(j));
       }
     }
   }
-  return 0;
+  // Default emit: one (series, x, sim_ms) row per job.
 }
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    fig17, "fig17_stamp",
+    "Nine STAMP kernels on one elided global lock, TLE vs NATLE",
+    "Figure 17", "y = runtime in simulated ms; lower is better", planFig17);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("fig17_stamp", argc, argv);
+}
+#endif

@@ -5,43 +5,66 @@
 //   (c) total runtime without pinning (NATLE's benefit appears much
 //       earlier because the OS spreads threads across sockets).
 #include <cstdio>
+#include <vector>
 
 #include "apps/cctsa/cctsa.hpp"
-#include "workload/options.hpp"
+#include "exp/exp.hpp"
+#include "workload/json.hpp"
 
 using namespace natle;
 using namespace natle::apps::cctsa;
 using namespace natle::workload;
 
-int main(int argc, char** argv) {
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
-  emitHeader("fig18_cctsa (a,c: y = runtime sim-ms; b: y = socket-0 share)");
-  CctsaConfig cfg;
-  cfg.scale = 1.0 * opt.time_scale;
+namespace {
+
+std::string cctsaConfigJson(const CctsaConfig& cfg) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("nthreads").value(cfg.nthreads);
+  w.key("natle").value(cfg.natle);
+  w.key("pin").value(sim::toString(cfg.pin));
+  w.key("scale").value(cfg.scale);
+  w.key("seed").value(cfg.seed);
+  w.endObject();
+  return w.take();
+}
+
+void planFig18(const BenchOptions& opt, exp::Plan& plan) {
+  auto labels = std::make_shared<std::vector<std::pair<std::string, double>>>();
   const std::vector<int> axis =
       opt.full ? std::vector<int>{1, 2, 4, 8, 12, 18, 24, 30, 36, 40, 48, 54,
                                   63, 72}
                : std::vector<int>{1, 4, 12, 18, 36, 40, 48, 72};
   for (sim::PinPolicy pin :
        {sim::PinPolicy::kFillSocketFirst, sim::PinPolicy::kUnpinned}) {
-    cfg.pin = pin;
     const char* panel =
         pin == sim::PinPolicy::kFillSocketFirst ? "pinned" : "unpinned";
     for (bool natle : {false, true}) {
-      cfg.natle = natle;
       for (int n : axis) {
+        CctsaConfig cfg;
+        cfg.scale = 1.0 * opt.time_scale;
+        cfg.pin = pin;
+        cfg.natle = natle;
         cfg.nthreads = n;
-        cfg.seed = 18 + n;
-        const CctsaResult r = runCctsa(cfg);
+        cfg.seed = 18 + static_cast<uint64_t>(n);
         char series[64];
         std::snprintf(series, sizeof series, "%s-%s", panel,
                       natle ? "natle" : "tle");
-        emitRow(series, n, r.sim_ms);
-        std::fprintf(stderr, "%s n=%d ms=%.3f kmers=%llu links=%llu\n", series,
-                     n, r.sim_ms,
-                     static_cast<unsigned long long>(r.kmers_indexed),
-                     static_cast<unsigned long long>(r.contig_links));
-
+        exp::Job j;
+        j.series = series;
+        j.x = n;
+        j.seed = cfg.seed;
+        j.config_json = cctsaConfigJson(cfg);
+        j.run = [cfg] {
+          const CctsaResult r = runCctsa(cfg);
+          exp::PointData p;
+          p.value = r.sim_ms;
+          p.aux = {{"kmers_indexed", static_cast<double>(r.kmers_indexed)},
+                   {"contig_links", static_cast<double>(r.contig_links)}};
+          return p;
+        };
+        labels->push_back({series, static_cast<double>(n)});
+        plan.jobs.push_back(std::move(j));
       }
     }
   }
@@ -53,12 +76,47 @@ int main(int argc, char** argv) {
     bcfg.nthreads = 72;
     bcfg.natle = true;
     bcfg.seed = 181;
-    const CctsaResult r = runCctsa(bcfg);
-    for (const auto& d : r.natle_history) {
-      emitRow("socket0-share-72t", static_cast<double>(d.cycle_index),
-              d.socket0_share);
-    }
-    std::fprintf(stderr, "panel-b cycles=%zu\n", r.natle_history.size());
+    exp::Job j;
+    j.series = "socket0-share-72t";
+    j.x = 0;
+    j.seed = bcfg.seed;
+    j.config_json = cctsaConfigJson(bcfg);
+    j.run = [bcfg] {
+      const CctsaResult r = runCctsa(bcfg);
+      exp::PointData p;
+      p.value = r.sim_ms;
+      for (const auto& d : r.natle_history) {
+        p.curve.push_back(
+            {static_cast<double>(d.cycle_index), d.socket0_share});
+      }
+      return p;
+    };
+    plan.jobs.push_back(std::move(j));
   }
-  return 0;
+  plan.emit = [labels](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    // Panels (a)/(c): one row per runtime job; panel (b) is the final job's
+    // history curve, expanded to one row per NATLE cycle.
+    for (size_t i = 0; i < labels->size(); ++i) {
+      rows.push_back({(*labels)[i].first, (*labels)[i].second,
+                      results[i].value});
+    }
+    for (const auto& [cycle, share] : results.back().curve) {
+      rows.push_back({"socket0-share-72t", cycle, share});
+    }
+    return rows;
+  };
 }
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    fig18, "fig18_cctsa",
+    "ccTSA assembler runtime plus NATLE per-cycle socket-0 share",
+    "Figure 18", "a,c: y = runtime sim-ms; b: y = socket-0 share", planFig18);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("fig18_cctsa", argc, argv);
+}
+#endif

@@ -4,40 +4,71 @@
 //   (b) without pinning: NATLE's advantage is much larger and appears from
 //       18 threads.
 #include <cstdio>
-
 #include <vector>
 
 #include "apps/paraheapk/paraheapk.hpp"
-#include "workload/options.hpp"
+#include "exp/exp.hpp"
+#include "workload/json.hpp"
 
 using namespace natle;
 using namespace natle::apps::paraheapk;
 using namespace natle::workload;
 
-int main(int argc, char** argv) {
-  const BenchOptions opt = BenchOptions::parse(argc, argv);
-  emitHeader("fig19_paraheapk (y = processing runtime in simulated ms)");
-  ParaheapConfig cfg;
-  cfg.scale = 0.5 * opt.time_scale;
+namespace {
+
+void planFig19(const BenchOptions& opt, exp::Plan& plan) {
   const std::vector<int> axis =
       opt.full ? std::vector<int>{1, 2, 4, 8, 12, 18, 24, 30, 36, 40, 48, 54,
                                   63, 72}
                : std::vector<int>{1, 4, 12, 18, 36, 40, 48, 72};
   for (bool pin : {true, false}) {
-    cfg.pin_threads = pin;
     for (bool natle : {false, true}) {
-      cfg.natle = natle;
       for (int n : axis) {
+        ParaheapConfig cfg;
+        cfg.scale = 0.5 * opt.time_scale;
+        cfg.pin_threads = pin;
+        cfg.natle = natle;
         cfg.nthreads = n;
-        cfg.seed = 19 + n;
-        const ParaheapResult r = runParaheapK(cfg);
+        cfg.seed = 19 + static_cast<uint64_t>(n);
         char series[64];
         std::snprintf(series, sizeof series, "%s-%s",
                       pin ? "pinned" : "unpinned", natle ? "natle" : "tle");
-        emitRow(series, n, r.sim_ms);
-        std::fprintf(stderr, "%s n=%d ms=%.3f\n", series, n, r.sim_ms);
+        exp::Job j;
+        j.series = series;
+        j.x = n;
+        j.seed = cfg.seed;
+        JsonWriter w;
+        w.beginObject();
+        w.key("nthreads").value(n);
+        w.key("natle").value(natle);
+        w.key("pin_threads").value(pin);
+        w.key("scale").value(cfg.scale);
+        w.key("seed").value(cfg.seed);
+        w.endObject();
+        j.config_json = w.take();
+        j.run = [cfg] {
+          const ParaheapResult r = runParaheapK(cfg);
+          exp::PointData p;
+          p.value = r.sim_ms;
+          p.aux = {{"iterations", static_cast<double>(r.iterations)}};
+          return p;
+        };
+        plan.jobs.push_back(std::move(j));
       }
     }
   }
-  return 0;
+  // Default emit: one (series, x, sim_ms) row per job.
 }
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    fig19, "fig19_paraheapk",
+    "paraheap-k: thread re-pinning overhead vs NATLE's benefit",
+    "Figure 19", "y = processing runtime in simulated ms", planFig19);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("fig19_paraheapk", argc, argv);
+}
+#endif

@@ -1,0 +1,294 @@
+// natle-bench: single CLI over every registered experiment.
+//
+//   natle-bench list                         # what can run, one line each
+//   natle-bench run --all -j8                # everything, 8 worker threads
+//   natle-bench run --filter 'fig0?' --full  # glob (or prefix) selection
+//
+// `run` writes bench_results/<name>.csv + <name>.json per experiment plus a
+// manifest.json (git SHA, NATLE_SIM_SCALE, simulated machine shape, per-
+// experiment timing) and prints a timing summary table. All output except
+// the wall_ms fields is byte-identical for any --jobs value.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "exp/exp.hpp"
+#include "sim/config.hpp"
+#include "workload/json.hpp"
+
+using namespace natle;
+using natle::workload::BenchOptions;
+using natle::workload::JsonWriter;
+
+namespace {
+
+void printUsage(std::FILE* to) {
+  std::fputs(
+      "usage: natle-bench <command> [options]\n"
+      "commands:\n"
+      "  list                     list registered experiments\n"
+      "  run [options]            run experiments, write CSV/JSON results\n"
+      "run options:\n"
+      "  --all                    run every registered experiment\n"
+      "  --filter GLOB            run experiments matching GLOB (* and ?;\n"
+      "                           a bare prefix like fig01 also matches);\n"
+      "                           repeatable, union of matches\n"
+      "  --jobs N, -j N           worker threads (default 1; 0 = all host\n"
+      "                           cores). Output is identical for any N.\n"
+      "  --full                   denser axes, longer trials, 3 trials/point\n"
+      "  --progress               per-data-point completion lines on stderr\n"
+      "  --out-dir DIR            result directory (default bench_results)\n"
+      "  --help, -h               this text\n"
+      "environment:\n"
+      "  NATLE_SIM_SCALE=<float>  scale simulated trial length\n",
+      to);
+}
+
+int cmdList() {
+  for (const exp::Experiment* e : exp::Registry::instance().all()) {
+    std::printf("%-24s %-12s %s\n", e->name, e->paper_ref, e->description);
+  }
+  return 0;
+}
+
+std::string gitSha() {
+  std::string sha = "unknown";
+  if (std::FILE* p = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof buf, p) != nullptr) {
+      for (char* c = buf; *c != '\0'; ++c) {
+        if (*c == '\n') *c = '\0';
+      }
+      if (buf[0] != '\0') sha = buf;
+    }
+    ::pclose(p);
+  }
+  return sha;
+}
+
+std::string utcNow() {
+  const std::time_t t =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+bool writeFile(const std::filesystem::path& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "natle-bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "natle-bench: short write to %s\n",
+                        path.c_str());
+  return ok;
+}
+
+std::string renderManifest(const BenchOptions& opt, int jobs_requested,
+                           const std::vector<exp::ExperimentOutput>& outs,
+                           double total_wall_ms) {
+  JsonWriter w;
+  w.beginObject();
+  w.key("tool").value("natle-bench");
+  w.key("created_utc").value(utcNow());
+  w.key("git_sha").value(gitSha());
+  const char* scale_env = std::getenv("NATLE_SIM_SCALE");
+  w.key("natle_sim_scale_env").value(scale_env != nullptr ? scale_env : "");
+  w.key("sim_scale").value(opt.time_scale);
+  w.key("full").value(opt.full);
+  w.key("jobs").value(jobs_requested);
+  w.key("workers").value(exp::resolveWorkers(jobs_requested));
+  w.key("machine");
+  workload::appendJson(w, sim::LargeMachine());
+  w.key("experiments");
+  w.beginArray().newline();
+  for (const exp::ExperimentOutput& o : outs) {
+    w.beginObject();
+    w.key("name").value(o.experiment->name);
+    w.key("paper_ref").value(o.experiment->paper_ref);
+    w.key("data_points").value(static_cast<uint64_t>(o.n_jobs));
+    w.key("csv_rows").value(static_cast<uint64_t>(o.n_records));
+    w.key("csv").value(std::string(o.experiment->name) + ".csv");
+    w.key("json").value(std::string(o.experiment->name) + ".json");
+    w.key("job_wall_ms").value(o.job_wall_ms);
+    w.endObject().newline();
+  }
+  w.endArray();
+  w.key("total_wall_ms").value(total_wall_ms);
+  w.endObject().newline();
+  return w.take();
+}
+
+int cmdRun(int argc, char** argv) {
+  bool all = false;
+  std::vector<std::string> filters;
+  BenchOptions opt;
+  exp::RunnerOptions ropt;
+  std::filesystem::path out_dir = "bench_results";
+  for (int i = 0; i < argc; ++i) {
+    const char* a = argv[i];
+    auto needValue = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "natle-bench: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(a, "--all") == 0) {
+      all = true;
+    } else if (std::strcmp(a, "--filter") == 0) {
+      filters.push_back(needValue(a));
+    } else if (std::strcmp(a, "--jobs") == 0 || std::strcmp(a, "-j") == 0 ||
+               std::strncmp(a, "--jobs=", 7) == 0 ||
+               (std::strncmp(a, "-j", 2) == 0 && a[2] != '\0')) {
+      // Accept the make/ninja spellings too: -j8, --jobs=8.
+      const char* v = std::strncmp(a, "--jobs=", 7) == 0 ? a + 7
+                      : a[1] == 'j' && a[2] != '\0'      ? a + 2
+                                                         : needValue(a);
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < 0 || n > 4096) {
+        std::fprintf(stderr, "natle-bench: invalid --jobs value: %s\n", v);
+        return 2;
+      }
+      ropt.jobs = static_cast<int>(n);
+    } else if (std::strcmp(a, "--full") == 0) {
+      opt.full = true;
+    } else if (std::strcmp(a, "--progress") == 0) {
+      ropt.progress = true;
+    } else if (std::strcmp(a, "--out-dir") == 0) {
+      out_dir = needValue(a);
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      printUsage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "natle-bench: unknown argument: %s\n", a);
+      printUsage(stderr);
+      return 2;
+    }
+  }
+  if (const char* s = std::getenv("NATLE_SIM_SCALE")) {
+    if (!BenchOptions::parseScale(s, &opt.time_scale)) {
+      std::fprintf(stderr,
+                   "natle-bench: invalid NATLE_SIM_SCALE value: \"%s\" "
+                   "(want a finite number > 0)\n",
+                   s);
+      return 2;
+    }
+  }
+  if (!all && filters.empty()) {
+    std::fprintf(stderr,
+                 "natle-bench: run needs --all or at least one --filter\n");
+    return 2;
+  }
+
+  // Union of filter matches, name-sorted (Registry returns sorted lists).
+  std::vector<const exp::Experiment*> selected;
+  if (all) {
+    selected = exp::Registry::instance().all();
+  } else {
+    for (const std::string& f : filters) {
+      for (const exp::Experiment* e : exp::Registry::instance().match(f)) {
+        bool dup = false;
+        for (const exp::Experiment* s : selected) dup |= (s == e);
+        if (!dup) selected.push_back(e);
+      }
+    }
+    std::sort(selected.begin(), selected.end(),
+              [](const exp::Experiment* a, const exp::Experiment* b) {
+                return std::strcmp(a->name, b->name) < 0;
+              });
+    for (const std::string& f : filters) {
+      if (exp::Registry::instance().match(f).empty()) {
+        std::fprintf(stderr, "natle-bench: --filter %s matched nothing\n",
+                     f.c_str());
+        return 1;
+      }
+    }
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "natle-bench: no experiments selected\n");
+    return 1;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "natle-bench: cannot create %s: %s\n",
+                 out_dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+
+  std::fprintf(stderr, "natle-bench: %zu experiment(s), %d worker(s)\n",
+               selected.size(), exp::resolveWorkers(ropt.jobs));
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<exp::ExperimentOutput> outs =
+      exp::runExperiments(selected, opt, ropt);
+  const double total_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  for (const exp::ExperimentOutput& o : outs) {
+    if (!writeFile(out_dir / (std::string(o.experiment->name) + ".csv"),
+                   o.csv) ||
+        !writeFile(out_dir / (std::string(o.experiment->name) + ".json"),
+                   o.json)) {
+      return 1;
+    }
+  }
+  if (!writeFile(out_dir / "manifest.json",
+                 renderManifest(opt, ropt.jobs, outs, total_wall_ms))) {
+    return 1;
+  }
+
+  std::printf("%-24s %8s %8s %12s\n", "experiment", "points", "rows",
+              "job-wall(s)");
+  double sum_job_wall = 0;
+  for (const exp::ExperimentOutput& o : outs) {
+    std::printf("%-24s %8zu %8zu %12.2f\n", o.experiment->name, o.n_jobs,
+                o.n_records, o.job_wall_ms / 1e3);
+    sum_job_wall += o.job_wall_ms;
+  }
+  // job-wall / elapsed is average in-flight concurrency, not speedup: on a
+  // timeshared core per-job wall times inflate and the ratio stays ~N.
+  std::printf("%-24s %8s %8s %12.2f  (elapsed %.2fs, concurrency %.2fx)\n",
+              "total", "", "", sum_job_wall / 1e3, total_wall_ms / 1e3,
+              total_wall_ms > 0 ? sum_job_wall / total_wall_ms : 0.0);
+  std::printf("results: %s\n", out_dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    printUsage(stderr);
+    return 2;
+  }
+  if (std::strcmp(argv[1], "list") == 0 ||
+      std::strcmp(argv[1], "--list") == 0) {
+    return cmdList();
+  }
+  if (std::strcmp(argv[1], "run") == 0) {
+    return cmdRun(argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
+    printUsage(stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "natle-bench: unknown command: %s\n", argv[1]);
+  printUsage(stderr);
+  return 2;
+}

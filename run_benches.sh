@@ -1,11 +1,16 @@
 #!/bin/bash
-# Run every bench binary, teeing each output to bench_results/<name>.csv
-mkdir -p /root/repo/bench_results
-for b in /root/repo/build/bench/*; do
-  [ -f "$b" ] && [ -x "$b" ] || continue
-  case "$b" in *cmake*|*CMakeFiles*|*CTestTestfile*) continue;; esac
-  name=$(basename "$b")
-  echo "=== $name ==="
-  "$b" > "/root/repo/bench_results/$name.csv" 2>"/root/repo/bench_results/$name.log"
-  echo "rc=$?"
-done
+# Thin wrapper over the natle-bench CLI: run every registered experiment and
+# write bench_results/<name>.{csv,json} plus bench_results/manifest.json.
+#
+#   ./run_benches.sh                 # everything, one worker
+#   ./run_benches.sh -j8 --progress  # extra flags pass straight through
+#
+# See `natle-bench --help` (or EXPERIMENTS.md) for the full flag list.
+set -euo pipefail
+cd "$(dirname "$0")"
+BIN=build/bench/natle-bench
+if [ ! -x "$BIN" ]; then
+  echo "error: $BIN not built (cmake -B build -S . && cmake --build build)" >&2
+  exit 1
+fi
+exec "$BIN" run --all "$@"

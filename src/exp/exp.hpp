@@ -1,0 +1,9 @@
+// Umbrella header for experiment definitions: everything a bench/*.cpp
+// needs to register itself and keep its thin standalone main().
+#pragma once
+
+#include "exp/experiment.hpp"  // IWYU pragma: export
+#include "exp/record.hpp"      // IWYU pragma: export
+#include "exp/runner.hpp"      // IWYU pragma: export
+#include "exp/standalone.hpp"  // IWYU pragma: export
+#include "exp/sweep.hpp"       // IWYU pragma: export

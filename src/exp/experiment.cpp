@@ -1,0 +1,78 @@
+#include "exp/experiment.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace natle::exp {
+
+bool globMatch(std::string_view pattern, std::string_view text) {
+  // Iterative wildcard match with backtracking over the last `*`.
+  size_t p = 0, t = 0;
+  size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+struct Registry::Impl {
+  // std::map: stable addresses and name-sorted iteration for free.
+  std::map<std::string, Experiment, std::less<>> by_name;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+void Registry::add(Experiment e) {
+  const auto [it, inserted] = impl_->by_name.emplace(e.name, std::move(e));
+  if (!inserted) {
+    std::fprintf(stderr, "natle::exp: duplicate experiment name \"%s\"\n",
+                 it->first.c_str());
+    std::abort();
+  }
+}
+
+const Experiment* Registry::find(std::string_view name) const {
+  const auto it = impl_->by_name.find(name);
+  return it == impl_->by_name.end() ? nullptr : &it->second;
+}
+
+std::vector<const Experiment*> Registry::all() const {
+  std::vector<const Experiment*> out;
+  out.reserve(impl_->by_name.size());
+  for (const auto& [_, e] : impl_->by_name) out.push_back(&e);
+  return out;
+}
+
+std::vector<const Experiment*> Registry::match(std::string_view pattern) const {
+  std::vector<const Experiment*> out;
+  const std::string prefixed = std::string(pattern) + "*";
+  for (const auto& [name, e] : impl_->by_name) {
+    if (globMatch(pattern, name) || globMatch(prefixed, name)) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+Registrar::Registrar(Experiment e) { Registry::instance().add(std::move(e)); }
+
+}  // namespace natle::exp

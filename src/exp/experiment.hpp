@@ -1,0 +1,85 @@
+// Experiment registry.
+//
+// Each paper figure registers itself once (name, description, paper
+// reference, planning function) via NATLE_REGISTER_EXPERIMENT; the
+// `natle-bench` CLI and the per-figure standalone binaries both go through
+// the registry, so adding an experiment is one file with one macro line.
+//
+// A plan expands the experiment into independent (config, seed, trial) jobs.
+// Jobs must be self-contained: each owns its configs by value, builds its
+// own simulator Env, and touches no shared mutable state — that is what
+// makes the runner free to execute them on any OS thread in any order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "exp/record.hpp"
+#include "workload/options.hpp"
+
+namespace natle::exp {
+
+// One schedulable simulation.
+struct Job {
+  std::string series;  // output series this point feeds (display + JSON)
+  double x = 0;        // x coordinate (thread count, delay, ...)
+  int trial = 0;
+  uint64_t seed = 0;
+  std::string config_json;  // serialized sim config, embedded in the record
+  std::function<PointData()> run;
+};
+
+struct Plan {
+  std::vector<Job> jobs;
+  // Folds completed results (parallel to `jobs`) into ordered CSV rows.
+  // Runs single-threaded after every job finishes; trial averaging and
+  // cross-job derivations (speedup baselines, abort breakdowns) live here.
+  // When unset, the runner emits one row per job: (series, x, value).
+  std::function<std::vector<Record>(const std::vector<PointData>&)> emit;
+};
+
+struct Experiment {
+  const char* name;         // e.g. "fig01_avl_two_machines"
+  const char* description;  // one line, shown by `natle-bench list`
+  const char* paper_ref;    // e.g. "Figure 1", "Section 4.1"
+  const char* axes;         // CSV header note, e.g. "y = Mops/s"
+  std::function<void(const workload::BenchOptions&, Plan&)> plan;
+};
+
+// `*` and `?` wildcard match (full-string).
+bool globMatch(std::string_view pattern, std::string_view text);
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  // Registers an experiment; duplicate names abort (two figures claiming one
+  // name is a build bug, not a runtime condition).
+  void add(Experiment e);
+
+  const Experiment* find(std::string_view name) const;
+  // All experiments, name-sorted.
+  std::vector<const Experiment*> all() const;
+  // Experiments whose name matches `pattern` (or is prefixed by it, so
+  // `--filter fig01` works without trailing `*`), name-sorted.
+  std::vector<const Experiment*> match(std::string_view pattern) const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  Registry();
+};
+
+struct Registrar {
+  explicit Registrar(Experiment e);
+};
+
+}  // namespace natle::exp
+
+// Static registration: one line at namespace scope per experiment.
+#define NATLE_REGISTER_EXPERIMENT(tag, ...)                       \
+  static const ::natle::exp::Registrar natle_exp_registrar_##tag{ \
+      ::natle::exp::Experiment{__VA_ARGS__}}

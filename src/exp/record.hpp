@@ -1,0 +1,38 @@
+// Result types flowing through the experiment harness.
+//
+// A Job (one self-contained simulation) produces a PointData; an
+// experiment's emit() hook folds the full ordered PointData vector into
+// Records (the `series,x,y` CSV rows). Everything in PointData is
+// deterministic — wall-clock timing is tracked separately by the runner so
+// result files stay byte-identical across worker counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "htm/stats.hpp"
+
+namespace natle::exp {
+
+// Raw outcome of one (config, seed, trial) simulation.
+struct PointData {
+  double value = 0;     // primary metric (Mops/s, simulated ms, ...)
+  htm::TxStats stats;   // transaction/memory counters, when the job has them
+  bool has_stats = false;
+  // Named secondary metrics (e.g. update_mops/search_mops for Figure 16).
+  std::vector<std::pair<std::string, double>> aux;
+  // Optional per-run history curve (e.g. Figure 18(b)'s socket-0 share per
+  // NATLE cycle); emitted to JSON and expandable into CSV rows by emit().
+  std::vector<std::pair<double, double>> curve;
+};
+
+// One CSV output row.
+struct Record {
+  std::string series;
+  double x = 0;
+  double y = 0;
+};
+
+}  // namespace natle::exp

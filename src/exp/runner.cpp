@@ -1,0 +1,190 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "workload/json.hpp"
+
+namespace natle::exp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+std::string renderCsv(const Experiment& e, const std::vector<Record>& rows) {
+  std::string out = "# bench=";
+  out += e.name;
+  if (e.axes != nullptr && e.axes[0] != '\0') {
+    out += " (";
+    out += e.axes;
+    out += ")";
+  }
+  out += "\nseries,x,y\n";
+  char buf[160];
+  for (const Record& r : rows) {
+    std::snprintf(buf, sizeof buf, ",%g,%g\n", r.x, r.y);
+    out += r.series;
+    out += buf;
+  }
+  return out;
+}
+
+std::string renderJson(const Experiment& e, const workload::BenchOptions& opt,
+                       const std::vector<Job>& jobs,
+                       const std::vector<PointData>& results,
+                       const std::vector<double>& wall_ms) {
+  workload::JsonWriter w;
+  w.beginObject();
+  w.key("experiment").value(e.name);
+  w.key("paper_ref").value(e.paper_ref);
+  w.key("description").value(e.description);
+  w.key("sim_scale").value(opt.time_scale);
+  w.key("full").value(opt.full);
+  w.key("points");
+  w.beginArray().newline();
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const Job& j = jobs[i];
+    const PointData& p = results[i];
+    w.beginObject();
+    w.key("series").value(j.series);
+    w.key("x").value(j.x);
+    w.key("trial").value(j.trial);
+    w.key("seed").value(j.seed);
+    if (!j.config_json.empty()) w.key("config").raw(j.config_json);
+    w.key("value").value(p.value);
+    if (p.has_stats) {
+      w.key("stats");
+      appendJson(w, p.stats);
+    }
+    if (!p.aux.empty()) {
+      w.key("aux");
+      w.beginObject();
+      for (const auto& [k, v] : p.aux) w.key(k).value(v);
+      w.endObject();
+    }
+    if (!p.curve.empty()) {
+      w.key("curve");
+      w.beginArray();
+      for (const auto& [cx, cy] : p.curve) {
+        w.beginArray().value(cx).value(cy).endArray();
+      }
+      w.endArray();
+    }
+    // Keep wall_ms last: it is the one nondeterministic field, and a fixed
+    // position lets determinism checks strip it with a one-line filter.
+    w.key("wall_ms").value(wall_ms[i]);
+    w.endObject().newline();
+  }
+  w.endArray();
+  w.endObject().newline();
+  return w.take();
+}
+
+std::vector<Record> defaultEmit(const std::vector<Job>& jobs,
+                                const std::vector<PointData>& results) {
+  std::vector<Record> rows;
+  rows.reserve(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    rows.push_back({jobs[i].series, jobs[i].x, results[i].value});
+  }
+  return rows;
+}
+
+}  // namespace
+
+int resolveWorkers(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<ExperimentOutput> runExperiments(
+    const std::vector<const Experiment*>& exps,
+    const workload::BenchOptions& opt, const RunnerOptions& ropt) {
+  // Expand every experiment's plan up front.
+  std::vector<Plan> plans(exps.size());
+  std::vector<std::vector<PointData>> results(exps.size());
+  std::vector<std::vector<double>> wall_ms(exps.size());
+  struct Slot {
+    size_t exp, job;
+  };
+  std::vector<Slot> queue;
+  for (size_t ei = 0; ei < exps.size(); ++ei) {
+    exps[ei]->plan(opt, plans[ei]);
+    results[ei].resize(plans[ei].jobs.size());
+    wall_ms[ei].resize(plans[ei].jobs.size(), 0);
+    for (size_t ji = 0; ji < plans[ei].jobs.size(); ++ji) {
+      queue.push_back({ei, ji});
+    }
+  }
+
+  // Shared pool over the flat job list; each worker pulls the next index.
+  // Job order in the queue is irrelevant to output: results land in their
+  // preassigned slot and all rendering happens after the pool joins.
+  const int workers =
+      std::min(resolveWorkers(ropt.jobs),
+               static_cast<int>(std::max<size_t>(queue.size(), 1)));
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex io_mu;
+  auto work = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= queue.size()) return;
+      const Slot s = queue[i];
+      const Job& j = plans[s.exp].jobs[s.job];
+      const auto t0 = Clock::now();
+      results[s.exp][s.job] = j.run();
+      wall_ms[s.exp][s.job] = msSince(t0);
+      const size_t finished = done.fetch_add(1) + 1;
+      if (ropt.progress) {
+        std::lock_guard<std::mutex> lk(io_mu);
+        std::fprintf(stderr, "[%4zu/%zu] %s %s x=%g trial=%d (%.2fs)\n",
+                     finished, queue.size(), exps[s.exp]->name,
+                     j.series.c_str(), j.x, j.trial,
+                     wall_ms[s.exp][s.job] / 1e3);
+      }
+    }
+  };
+  if (workers <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int t = 0; t < workers; ++t) pool.emplace_back(work);
+    for (auto& th : pool) th.join();
+  }
+
+  // Deterministic single-threaded rendering, in experiment order.
+  std::vector<ExperimentOutput> out(exps.size());
+  for (size_t ei = 0; ei < exps.size(); ++ei) {
+    const std::vector<Record> rows =
+        plans[ei].emit ? plans[ei].emit(results[ei])
+                       : defaultEmit(plans[ei].jobs, results[ei]);
+    ExperimentOutput& o = out[ei];
+    o.experiment = exps[ei];
+    o.csv = renderCsv(*exps[ei], rows);
+    o.json = renderJson(*exps[ei], opt, plans[ei].jobs, results[ei],
+                        wall_ms[ei]);
+    o.n_jobs = plans[ei].jobs.size();
+    o.n_records = rows.size();
+    for (double ms : wall_ms[ei]) o.job_wall_ms += ms;
+  }
+  return out;
+}
+
+ExperimentOutput runExperiment(const Experiment& e,
+                               const workload::BenchOptions& opt,
+                               const RunnerOptions& ropt) {
+  return runExperiments({&e}, opt, ropt)[0];
+}
+
+}  // namespace natle::exp

@@ -1,0 +1,46 @@
+// Parallel experiment runner.
+//
+// Expands experiments into their job lists and executes all jobs across a
+// pool of `--jobs N` OS threads — legal because every simulation is a
+// self-contained, deterministic, single-threaded fiber run. Results are
+// stored by job index and rendered single-threaded afterwards, so the CSV
+// and JSON outputs are byte-identical for any worker count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace natle::exp {
+
+struct RunnerOptions {
+  int jobs = 1;           // worker threads; 0 = hardware concurrency
+  bool progress = false;  // per-job completion lines on stderr
+};
+
+struct ExperimentOutput {
+  const Experiment* experiment = nullptr;
+  std::string csv;   // header + series,x,y rows (same format benches printed)
+  std::string json;  // one JSON record per job; wall_ms is the only
+                     // nondeterministic field (always last in each record)
+  size_t n_jobs = 0;
+  size_t n_records = 0;
+  double job_wall_ms = 0;  // summed per-job wall time (CPU-work proxy)
+};
+
+// Runs every experiment's jobs over one shared worker pool (better load
+// balancing than per-experiment pools) and returns outputs in input order.
+std::vector<ExperimentOutput> runExperiments(
+    const std::vector<const Experiment*>& exps,
+    const workload::BenchOptions& opt, const RunnerOptions& ropt);
+
+// Single-experiment convenience wrapper.
+ExperimentOutput runExperiment(const Experiment& e,
+                               const workload::BenchOptions& opt,
+                               const RunnerOptions& ropt);
+
+// Effective worker count (resolves jobs==0 to hardware concurrency).
+int resolveWorkers(int jobs);
+
+}  // namespace natle::exp

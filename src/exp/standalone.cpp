@@ -1,0 +1,94 @@
+#include "exp/standalone.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "exp/runner.hpp"
+
+namespace natle::exp {
+
+namespace {
+
+void printUsage(const char* prog, std::FILE* to) {
+  std::fprintf(to,
+               "usage: %s [--full] [--jobs N] [--progress] [--help]\n"
+               "  --full       denser thread axis, longer trials, 3 "
+               "trials/point\n"
+               "  --jobs N     run data points on N worker threads (0 = all "
+               "host cores)\n"
+               "  --progress   per-data-point completion lines on stderr\n"
+               "environment:\n"
+               "  NATLE_SIM_SCALE=<float>  scale simulated trial length\n",
+               prog);
+}
+
+}  // namespace
+
+int standaloneMain(const char* experiment_name, int argc, char** argv) {
+  const char* prog = argc > 0 ? argv[0] : experiment_name;
+  workload::BenchOptions opt;
+  RunnerOptions ropt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--full") == 0) {
+      opt.full = true;
+    } else if (std::strcmp(a, "--progress") == 0) {
+      ropt.progress = true;
+    } else if (std::strcmp(a, "--jobs") == 0 || std::strcmp(a, "-j") == 0 ||
+               std::strncmp(a, "--jobs=", 7) == 0 ||
+               (std::strncmp(a, "-j", 2) == 0 && a[2] != '\0')) {
+      // Accept the make/ninja spellings too: -j8, --jobs=8.
+      const char* v;
+      if (std::strncmp(a, "--jobs=", 7) == 0) {
+        v = a + 7;
+      } else if (a[1] == 'j' && a[2] != '\0') {
+        v = a + 2;
+      } else {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s needs a value\n", a);
+          return 2;
+        }
+        v = argv[++i];
+      }
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < 0 || n > 4096) {
+        std::fprintf(stderr, "invalid --jobs value: %s\n", v);
+        return 2;
+      }
+      ropt.jobs = static_cast<int>(n);
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      printUsage(prog, stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a);
+      printUsage(prog, stderr);
+      return 2;
+    }
+  }
+  if (const char* s = std::getenv("NATLE_SIM_SCALE")) {
+    if (!workload::BenchOptions::parseScale(s, &opt.time_scale)) {
+      std::fprintf(stderr,
+                   "invalid NATLE_SIM_SCALE value: \"%s\" (want a finite "
+                   "number > 0)\n",
+                   s);
+      return 2;
+    }
+  }
+
+  const Experiment* e = Registry::instance().find(experiment_name);
+  if (e == nullptr) {
+    std::fprintf(stderr, "experiment \"%s\" is not registered in this binary\n",
+                 experiment_name);
+    return 1;
+  }
+  const ExperimentOutput out = runExperiment(*e, opt, ropt);
+  std::fputs(out.csv.c_str(), stdout);
+  std::fprintf(stderr, "%s: %zu data points, %zu rows, %.2fs simulated work\n",
+               e->name, out.n_jobs, out.n_records, out.job_wall_ms / 1e3);
+  return 0;
+}
+
+}  // namespace natle::exp

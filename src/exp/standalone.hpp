@@ -1,0 +1,14 @@
+// Entry point for per-figure standalone binaries: each bench/fig*.cpp keeps
+// a thin main() that delegates here, so one binary still means one figure
+// (CSV on stdout, as always) while the experiment itself lives in the
+// registry shared with `natle-bench`.
+#pragma once
+
+namespace natle::exp {
+
+// Runs the named registered experiment and prints its CSV to stdout.
+// Accepts --full, --jobs/-j N, --progress, --help; returns the process exit
+// code.
+int standaloneMain(const char* experiment_name, int argc, char** argv);
+
+}  // namespace natle::exp

@@ -1,0 +1,75 @@
+#include "exp/sweep.hpp"
+
+#include "htm/abort.hpp"
+#include "workload/json.hpp"
+
+namespace natle::exp {
+
+PointData runSetBenchPoint(const workload::SetBenchConfig& cfg) {
+  const workload::SetBenchResult r = workload::runSetBench(cfg);
+  PointData p;
+  p.value = r.mops;
+  p.stats = r.stats;
+  p.has_stats = true;
+  return p;
+}
+
+void SetSweep::point(Plan& plan, std::string series, double x,
+                     const workload::SetBenchConfig& cfg) {
+  entries_.push_back({series, x, plan.jobs.size()});
+  for (int t = 0; t < trials_; ++t) {
+    workload::SetBenchConfig c = cfg;
+    c.trials = 1;
+    // Same per-trial seed derivation runSetBench used internally, so a
+    // sharded sweep reproduces the serial sweep's numbers exactly.
+    c.seed = cfg.seed + 1000003ULL * static_cast<uint64_t>(t);
+    Job j;
+    j.series = series;
+    j.x = x;
+    j.trial = t;
+    j.seed = c.seed;
+    j.config_json = workload::toJson(c);
+    j.run = [c] { return runSetBenchPoint(c); };
+    plan.jobs.push_back(std::move(j));
+  }
+}
+
+std::vector<SetSweep::Agg> SetSweep::aggregate(
+    const std::vector<PointData>& results) const {
+  std::vector<Agg> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    Agg a;
+    a.series = e.series;
+    a.x = e.x;
+    double mops_sum = 0;
+    for (int t = 0; t < trials_; ++t) {
+      const PointData& p = results.at(e.first_job + static_cast<size_t>(t));
+      mops_sum += p.value;
+      a.r.stats += p.stats;
+    }
+    a.r.mops = mops_sum / trials_;
+    // Derived ratios recomputed from the summed counters, mirroring
+    // runSetBench's aggregation across its internal trial loop.
+    const auto& s = a.r.stats;
+    const uint64_t aborts = s.totalAborts();
+    a.r.abort_rate = s.tx_begins > 0 ? static_cast<double>(aborts) /
+                                           static_cast<double>(s.tx_begins)
+                                     : 0;
+    a.r.conflict_abort_fraction =
+        aborts > 0
+            ? static_cast<double>(
+                  s.tx_aborts[static_cast<int>(htm::AbortReason::kConflict)]) /
+                  static_cast<double>(aborts)
+            : 0;
+    a.r.hintclear_commit_pct =
+        s.tx_commits > 0
+            ? 100.0 * static_cast<double>(s.commits_after_hintclear_fail) /
+                  static_cast<double>(s.tx_commits)
+            : 0;
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+}  // namespace natle::exp

@@ -1,0 +1,50 @@
+// Planning helpers for set-microbenchmark sweeps.
+//
+// SetSweep turns a grid of SetBenchConfig points into (config, seed, trial)
+// jobs — one job per trial, seeded exactly as runSetBench's internal trial
+// loop used to be — and aggregates the finished trials back into the same
+// per-point statistics runSetBench(trials=N) computed inline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "workload/setbench.hpp"
+
+namespace natle::exp {
+
+// Runs one single-trial simulation and packages it for the harness.
+PointData runSetBenchPoint(const workload::SetBenchConfig& cfg);
+
+class SetSweep {
+ public:
+  explicit SetSweep(int trials) : trials_(trials < 1 ? 1 : trials) {}
+
+  // Queue all trials of one data point onto the plan. `cfg.trials` is
+  // ignored; this class owns trial expansion.
+  void point(Plan& plan, std::string series, double x,
+             const workload::SetBenchConfig& cfg);
+
+  struct Agg {
+    std::string series;
+    double x = 0;
+    workload::SetBenchResult r;  // trial-aggregated, as runSetBench returned
+  };
+  // Folds the runner's results (parallel to the plan this sweep filled) back
+  // into per-point aggregates, in planning order.
+  std::vector<Agg> aggregate(const std::vector<PointData>& results) const;
+
+  int trials() const { return trials_; }
+
+ private:
+  struct Entry {
+    std::string series;
+    double x;
+    size_t first_job;
+  };
+  std::vector<Entry> entries_;
+  int trials_;
+};
+
+}  // namespace natle::exp

@@ -30,7 +30,8 @@ void* SimAllocator::carve(size_t bytes, int home_socket) {
   auto& [cursor, remaining] = arena_[home_socket];
   if (remaining < bytes) {
     size_t chunk_size = bytes > kChunkBytes ? bytes : kChunkBytes;
-    char* base = static_cast<char*>(std::aligned_alloc(kLineBytes, chunk_size));
+    chunk_size = (chunk_size + kChunkAlign - 1) / kChunkAlign * kChunkAlign;
+    char* base = static_cast<char*>(std::aligned_alloc(kChunkAlign, chunk_size));
     if (base == nullptr) throw std::bad_alloc();
     chunks_.push_back(Chunk{base, chunk_size, static_cast<int8_t>(home_socket)});
     uint64_t first = lineOf(base);

@@ -45,6 +45,12 @@ class SimAllocator {
   };
 
   static constexpr size_t kChunkBytes = 1 << 20;
+  // Chunk bases must not perturb the L1 set index (line % sets): the set a
+  // line maps to has to depend only on its offset inside the chunk, never on
+  // where the OS happened to place the chunk. 64 KiB keeps base % (sets *
+  // kLineBytes) == 0 for any sets <= 1024, so simulations are reproducible
+  // across processes and across concurrent allocator use by runner threads.
+  static constexpr size_t kChunkAlign = 64 * 1024;
 
   void* carve(size_t bytes, int home_socket);
 

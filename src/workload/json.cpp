@@ -1,0 +1,116 @@
+#include "workload/json.hpp"
+
+#include "htm/abort.hpp"
+#include "htm/stats.hpp"
+#include "sim/config.hpp"
+#include "sim/topology.hpp"
+#include "workload/setbench.hpp"
+
+namespace natle::workload {
+
+void appendJson(JsonWriter& w, const sim::MachineConfig& m) {
+  w.beginObject();
+  w.key("sockets").value(m.sockets);
+  w.key("cores_per_socket").value(m.cores_per_socket);
+  w.key("threads_per_core").value(m.threads_per_core);
+  w.key("ghz").value(m.ghz);
+  w.key("l1_hit").value(static_cast<uint64_t>(m.l1_hit));
+  w.key("local_hit").value(static_cast<uint64_t>(m.local_hit));
+  w.key("local_dram").value(static_cast<uint64_t>(m.local_dram));
+  w.key("remote_transfer").value(static_cast<uint64_t>(m.remote_transfer));
+  w.key("remote_inval").value(static_cast<uint64_t>(m.remote_inval));
+  w.key("link_occupancy").value(static_cast<uint64_t>(m.link_occupancy));
+  w.key("remote_dram").value(static_cast<uint64_t>(m.remote_dram));
+  w.key("store_upgrade").value(static_cast<uint64_t>(m.store_upgrade));
+  w.key("ht_penalty").value(m.ht_penalty);
+  w.key("l1_sets").value(static_cast<uint64_t>(m.l1_sets));
+  w.key("l1_ways").value(static_cast<uint64_t>(m.l1_ways));
+  w.key("seed").value(m.seed);
+  w.endObject();
+}
+
+void appendJson(JsonWriter& w, const sync::TlePolicy& p) {
+  w.beginObject();
+  w.key("max_attempts").value(p.max_attempts);
+  w.key("respect_hint_bit").value(p.respect_hint_bit);
+  w.key("count_lock_held").value(p.count_lock_held);
+  w.key("precommit_delay").value(p.precommit_delay);
+  w.endObject();
+}
+
+void appendJson(JsonWriter& w, const sync::NatleConfig& c) {
+  w.beginObject();
+  w.key("profiling_ms").value(c.profiling_ms);
+  w.key("quanta").value(c.quanta);
+  w.key("min_acquisitions").value(c.min_acquisitions);
+  w.key("wait_cycles").value(c.wait_cycles);
+  w.endObject();
+}
+
+void appendJson(JsonWriter& w, const SetBenchConfig& c) {
+  w.beginObject();
+  w.key("machine");
+  appendJson(w, c.machine);
+  w.key("nthreads").value(c.nthreads);
+  w.key("key_range").value(c.key_range);
+  w.key("update_pct").value(c.update_pct);
+  w.key("search_replace").value(c.search_replace);
+  w.key("ds").value(toString(c.ds));
+  w.key("sync").value(toString(c.sync));
+  w.key("tle");
+  appendJson(w, c.tle);
+  if (c.sync == SyncKind::kNatle) {
+    w.key("natle");
+    appendJson(w, c.natle);
+  }
+  w.key("pin").value(sim::toString(c.pin));
+  w.key("warmup_ms").value(c.warmup_ms);
+  w.key("measure_ms").value(c.measure_ms);
+  w.key("ext_max_units").value(static_cast<uint64_t>(c.ext.max_units));
+  w.key("op_overhead_cycles").value(c.op_overhead_cycles);
+  w.key("seed").value(c.seed);
+  w.endObject();
+}
+
+// Abort breakdown keyed by hardware reason name, plus memory-system and
+// fallback counters — the "abort breakdown" block of each JSON data point.
+void appendJson(JsonWriter& w, const htm::TxStats& s) {
+  w.beginObject();
+  w.key("ops").value(s.ops);
+  w.key("tx_begins").value(s.tx_begins);
+  w.key("tx_commits").value(s.tx_commits);
+  w.key("aborts");
+  w.beginObject();
+  for (int r = 1; r < htm::kAbortReasonCount; ++r) {
+    w.key(htm::toString(static_cast<htm::AbortReason>(r)))
+        .value(s.tx_aborts[r]);
+  }
+  w.endObject();
+  w.key("commits_after_hintclear_fail").value(s.commits_after_hintclear_fail);
+  w.key("lock_acquires").value(s.lock_acquires);
+  w.key("l1_hits").value(s.l1_hits);
+  w.key("local_hits").value(s.local_hits);
+  w.key("remote_transfers").value(s.remote_transfers);
+  w.key("dram_misses").value(s.dram_misses);
+  w.endObject();
+}
+
+std::string toJson(const sim::MachineConfig& m) {
+  JsonWriter w;
+  appendJson(w, m);
+  return w.take();
+}
+
+std::string toJson(const SetBenchConfig& c) {
+  JsonWriter w;
+  appendJson(w, c);
+  return w.take();
+}
+
+std::string toJson(const htm::TxStats& s) {
+  JsonWriter w;
+  appendJson(w, s);
+  return w.take();
+}
+
+}  // namespace natle::workload

@@ -1,0 +1,157 @@
+// Minimal deterministic JSON emission.
+//
+// The experiment harness records every data point as a JSON object; output
+// must be byte-stable across runs (the `-j1` vs `-jN` determinism guarantee
+// rests on it), so numbers are rendered with std::to_chars shortest
+// round-trip formatting and keys are emitted in insertion order.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace natle::workload {
+
+class JsonWriter {
+ public:
+  JsonWriter& beginObject() { return open('{'); }
+  JsonWriter& endObject() { return close('}'); }
+  JsonWriter& beginArray() { return open('['); }
+  JsonWriter& endArray() { return close(']'); }
+
+  JsonWriter& key(std::string_view k) {
+    comma();
+    appendString(k);
+    out_ += ':';
+    pending_comma_ = false;
+    return *this;
+  }
+
+  JsonWriter& value(double v) {
+    comma();
+    appendNumber(v);
+    return *this;
+  }
+  JsonWriter& value(uint64_t v) {
+    comma();
+    char buf[24];
+    auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    (void)ec;
+    out_.append(buf, p);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(int64_t v) {
+    comma();
+    char buf[24];
+    auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    (void)ec;
+    out_.append(buf, p);
+    return *this;
+  }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(std::string_view s) {
+    comma();
+    appendString(s);
+    return *this;
+  }
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+
+  // Splice an already-serialized JSON fragment (e.g. a nested config object).
+  JsonWriter& raw(std::string_view json) {
+    comma();
+    out_ += json;
+    return *this;
+  }
+
+  JsonWriter& newline() {
+    out_ += '\n';
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  JsonWriter& open(char c) {
+    comma();
+    out_ += c;
+    pending_comma_ = false;
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    out_ += c;
+    pending_comma_ = true;
+    return *this;
+  }
+  void comma() {
+    if (pending_comma_) out_ += ',';
+    pending_comma_ = true;
+  }
+  void appendNumber(double v) {
+    char buf[32];
+    auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+    (void)ec;
+    out_.append(buf, p);
+  }
+  void appendString(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool pending_comma_ = false;
+};
+
+}  // namespace natle::workload
+
+namespace natle::sim {
+struct MachineConfig;
+}
+namespace natle::htm {
+struct TxStats;
+}
+namespace natle::sync {
+struct TlePolicy;
+struct NatleConfig;
+}
+
+namespace natle::workload {
+
+struct SetBenchConfig;
+
+// Result/config structs rendered as JSON objects (json.cpp).
+void appendJson(JsonWriter& w, const sim::MachineConfig& m);
+void appendJson(JsonWriter& w, const sync::TlePolicy& p);
+void appendJson(JsonWriter& w, const sync::NatleConfig& c);
+void appendJson(JsonWriter& w, const SetBenchConfig& c);
+void appendJson(JsonWriter& w, const htm::TxStats& s);
+
+std::string toJson(const sim::MachineConfig& m);
+std::string toJson(const SetBenchConfig& c);
+std::string toJson(const htm::TxStats& s);
+
+}  // namespace natle::workload

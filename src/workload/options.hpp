@@ -5,6 +5,7 @@
 // simulated measurement window (e.g. 0.25 for a quick smoke run).
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -14,16 +15,75 @@ namespace natle::workload {
 
 struct BenchOptions {
   bool full = false;
+  bool help = false;
   double time_scale = 1.0;
+
+  // Validated NATLE_SIM_SCALE parsing: the whole string must be a finite
+  // number > 0 (atof's silent 0.0-on-garbage caused misconfigured runs to
+  // quietly use scale 1.0 or 0).
+  static bool parseScale(const char* s, double* out) {
+    if (s == nullptr || *s == '\0') return false;
+    char* end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s || *end != '\0') return false;
+    if (!std::isfinite(v) || v <= 0) return false;
+    *out = v;
+    return true;
+  }
+
+  // Strict parser: recognizes --full and --help/-h, errors on anything else
+  // (flags used to be silently ignored, hiding typos like --fulll), and
+  // rejects garbage NATLE_SIM_SCALE values. On failure `*err` explains why.
+  static bool tryParse(int argc, char** argv, BenchOptions* out,
+                       std::string* err) {
+    BenchOptions o;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--full") == 0) {
+        o.full = true;
+      } else if (std::strcmp(argv[i], "--help") == 0 ||
+                 std::strcmp(argv[i], "-h") == 0) {
+        o.help = true;
+      } else {
+        if (err != nullptr) {
+          *err = std::string("unknown argument: ") + argv[i];
+        }
+        return false;
+      }
+    }
+    if (const char* s = std::getenv("NATLE_SIM_SCALE")) {
+      if (!parseScale(s, &o.time_scale)) {
+        if (err != nullptr) {
+          *err = std::string("invalid NATLE_SIM_SCALE value: \"") + s +
+                 "\" (want a finite number > 0)";
+        }
+        return false;
+      }
+    }
+    *out = o;
+    return true;
+  }
+
+  static void printUsage(const char* prog, std::FILE* to) {
+    std::fprintf(to,
+                 "usage: %s [--full] [--help]\n"
+                 "  --full   denser thread axis, longer trials, 3 trials/point\n"
+                 "environment:\n"
+                 "  NATLE_SIM_SCALE=<float>  scale simulated trial length "
+                 "(default 1.0)\n",
+                 prog);
+  }
 
   static BenchOptions parse(int argc, char** argv) {
     BenchOptions o;
-    for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--full") == 0) o.full = true;
+    std::string err;
+    if (!tryParse(argc, argv, &o, &err)) {
+      std::fprintf(stderr, "%s\n", err.c_str());
+      printUsage(argc > 0 ? argv[0] : "bench", stderr);
+      std::exit(2);
     }
-    if (const char* s = std::getenv("NATLE_SIM_SCALE")) {
-      const double v = std::atof(s);
-      if (v > 0) o.time_scale = v;
+    if (o.help) {
+      printUsage(argc > 0 ? argv[0] : "bench", stdout);
+      std::exit(0);
     }
     return o;
   }

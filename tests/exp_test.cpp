@@ -1,0 +1,142 @@
+// Tests for the experiment harness: glob matching, the registry, SetSweep
+// grid expansion (seed derivation must match runSetBench's internal trial
+// loop), and the determinism contract — a worker pool of any size must
+// produce byte-identical CSV and JSON (modulo the wall_ms timing fields).
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <string>
+
+#include "exp/exp.hpp"
+
+using namespace natle;
+using namespace natle::exp;
+
+namespace {
+
+// A tiny real experiment: enough simulation to catch scheduling-dependent
+// nondeterminism, small enough to run in a unit test.
+void planTiny(const workload::BenchOptions& opt, Plan& plan) {
+  auto sweep = std::make_shared<SetSweep>(2);
+  workload::SetBenchConfig cfg;
+  cfg.key_range = 256;
+  cfg.measure_ms = 0.3 * opt.time_scale;
+  cfg.warmup_ms = 0.1 * opt.time_scale;
+  for (int n : {1, 4, 8}) {
+    cfg.nthreads = n;
+    sweep->point(plan, "tiny", n, cfg);
+  }
+  plan.emit = [sweep](const std::vector<PointData>& results) {
+    std::vector<Record> rows;
+    for (const auto& p : sweep->aggregate(results)) {
+      rows.push_back({p.series, p.x, p.r.mops});
+    }
+    return rows;
+  };
+}
+
+std::string stripWallMs(const std::string& json) {
+  static const std::regex kWall(",\"wall_ms\":[-0-9.e+]+");
+  return std::regex_replace(json, kWall, "");
+}
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(tiny, "exp_test_tiny",
+                          "three-point sweep used by exp_test", "none",
+                          "y = Mops/s", planTiny);
+
+TEST(GlobMatch, Wildcards) {
+  EXPECT_TRUE(globMatch("*", "anything"));
+  EXPECT_TRUE(globMatch("fig0?", "fig01"));
+  EXPECT_FALSE(globMatch("fig0?", "fig012"));
+  EXPECT_TRUE(globMatch("fig*tree*", "fig16_two_trees"));
+  EXPECT_FALSE(globMatch("fig*treex", "fig16_two_trees"));
+  EXPECT_TRUE(globMatch("", ""));
+  EXPECT_FALSE(globMatch("", "x"));
+  EXPECT_TRUE(globMatch("a*b*c", "abc"));
+  EXPECT_TRUE(globMatch("a*b*c", "axxbxxc"));
+  EXPECT_FALSE(globMatch("a*b*c", "axxbxx"));
+}
+
+TEST(Registry, FindAndMatch) {
+  Registry& r = Registry::instance();
+  const Experiment* e = r.find("exp_test_tiny");
+  ASSERT_NE(e, nullptr);
+  EXPECT_STREQ(e->description, "three-point sweep used by exp_test");
+  EXPECT_EQ(r.find("no_such_experiment"), nullptr);
+
+  // Exact glob, prefix fallback, and miss.
+  EXPECT_EQ(r.match("exp_test_*").size(), 1u);
+  EXPECT_EQ(r.match("exp_test").size(), 1u);  // bare prefix, no trailing '*'
+  EXPECT_EQ(r.match("zzz").size(), 0u);
+
+  // all() is name-sorted and contains the registered experiment.
+  const auto all = r.all();
+  ASSERT_FALSE(all.empty());
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(std::string(all[i - 1]->name), std::string(all[i]->name));
+  }
+}
+
+TEST(SetSweep, GridExpansionAndSeeds) {
+  Plan plan;
+  SetSweep sweep(3);
+  workload::SetBenchConfig cfg;
+  cfg.seed = 42;
+  cfg.nthreads = 4;
+  sweep.point(plan, "s", 4, cfg);
+  ASSERT_EQ(plan.jobs.size(), 3u);
+  for (int t = 0; t < 3; ++t) {
+    const Job& j = plan.jobs[t];
+    EXPECT_EQ(j.series, "s");
+    EXPECT_EQ(j.x, 4);
+    EXPECT_EQ(j.trial, t);
+    // Must match the seed schedule runSetBench used for its internal trial
+    // loop, so converted figures reproduce the pre-harness numbers.
+    EXPECT_EQ(j.seed, 42u + 1000003ull * static_cast<uint64_t>(t));
+    EXPECT_FALSE(j.config_json.empty());
+    EXPECT_TRUE(j.run != nullptr);
+  }
+}
+
+TEST(Runner, DefaultEmitOneRowPerJob) {
+  Experiment e{"inline_default_emit", "d", "none", "",
+               [](const workload::BenchOptions&, Plan& plan) {
+                 for (int i = 0; i < 3; ++i) {
+                   Job j;
+                   j.series = "s" + std::to_string(i);
+                   j.x = i;
+                   j.run = [i] {
+                     PointData p;
+                     p.value = 10.0 * i;
+                     return p;
+                   };
+                   plan.jobs.push_back(std::move(j));
+                 }
+               }};
+  workload::BenchOptions opt;
+  const ExperimentOutput out = runExperiment(e, opt, RunnerOptions{});
+  EXPECT_EQ(out.n_jobs, 3u);
+  EXPECT_EQ(out.n_records, 3u);
+  EXPECT_EQ(out.csv,
+            "# bench=inline_default_emit\nseries,x,y\n"
+            "s0,0,0\ns1,1,10\ns2,2,20\n");
+}
+
+TEST(Runner, ParallelRunIsByteIdentical) {
+  const Experiment* e = Registry::instance().find("exp_test_tiny");
+  ASSERT_NE(e, nullptr);
+  workload::BenchOptions opt;
+  RunnerOptions serial;
+  serial.jobs = 1;
+  RunnerOptions parallel;
+  parallel.jobs = 4;
+  const ExperimentOutput a = runExperiment(*e, opt, serial);
+  const ExperimentOutput b = runExperiment(*e, opt, parallel);
+  EXPECT_EQ(a.n_jobs, 6u);  // 3 points x 2 trials
+  EXPECT_EQ(a.csv, b.csv);
+  EXPECT_EQ(stripWallMs(a.json), stripWallMs(b.json));
+  // wall_ms really is the only difference.
+  EXPECT_NE(a.json, stripWallMs(a.json));
+}

@@ -2,6 +2,7 @@
 // plumbing, pinning policies, external work, and the thread axis helper.
 #include <gtest/gtest.h>
 
+#include "workload/options.hpp"
 #include "workload/setbench.hpp"
 
 using namespace natle;
@@ -153,4 +154,86 @@ TEST(ThreadAxis, SmallMachineIsDense) {
 TEST(ThreadAxis, FullModeIsComplete) {
   const auto axis = threadAxis(sim::LargeMachine(), true);
   EXPECT_EQ(axis.size(), 72u);
+}
+
+// --- BenchOptions hardening -------------------------------------------------
+
+namespace {
+
+// setenv/unsetenv helper so NATLE_SIM_SCALE tests can't leak into each other.
+struct ScopedEnv {
+  explicit ScopedEnv(const char* value) {
+    if (value != nullptr) {
+      ::setenv("NATLE_SIM_SCALE", value, 1);
+    } else {
+      ::unsetenv("NATLE_SIM_SCALE");
+    }
+  }
+  ~ScopedEnv() { ::unsetenv("NATLE_SIM_SCALE"); }
+};
+
+}  // namespace
+
+TEST(BenchOptions, ParseScaleAcceptsFinitePositive) {
+  double v = 0;
+  EXPECT_TRUE(BenchOptions::parseScale("0.25", &v));
+  EXPECT_DOUBLE_EQ(v, 0.25);
+  EXPECT_TRUE(BenchOptions::parseScale("2", &v));
+  EXPECT_DOUBLE_EQ(v, 2.0);
+  EXPECT_TRUE(BenchOptions::parseScale("1e-3", &v));
+  EXPECT_DOUBLE_EQ(v, 1e-3);
+}
+
+TEST(BenchOptions, ParseScaleRejectsGarbage) {
+  double v = 123;
+  EXPECT_FALSE(BenchOptions::parseScale("", &v));
+  EXPECT_FALSE(BenchOptions::parseScale(nullptr, &v));
+  EXPECT_FALSE(BenchOptions::parseScale("abc", &v));
+  EXPECT_FALSE(BenchOptions::parseScale("0.5x", &v));  // trailing junk
+  EXPECT_FALSE(BenchOptions::parseScale("0", &v));
+  EXPECT_FALSE(BenchOptions::parseScale("-1", &v));
+  EXPECT_FALSE(BenchOptions::parseScale("inf", &v));
+  EXPECT_FALSE(BenchOptions::parseScale("nan", &v));
+  EXPECT_DOUBLE_EQ(v, 123);  // untouched on failure
+}
+
+TEST(BenchOptions, TryParseFlags) {
+  ScopedEnv env(nullptr);
+  const char* argv1[] = {"bench", "--full"};
+  BenchOptions o;
+  std::string err;
+  ASSERT_TRUE(BenchOptions::tryParse(2, const_cast<char**>(argv1), &o, &err));
+  EXPECT_TRUE(o.full);
+  EXPECT_FALSE(o.help);
+
+  const char* argv2[] = {"bench", "-h"};
+  ASSERT_TRUE(BenchOptions::tryParse(2, const_cast<char**>(argv2), &o, &err));
+  EXPECT_TRUE(o.help);
+}
+
+TEST(BenchOptions, TryParseRejectsUnknownFlag) {
+  ScopedEnv env(nullptr);
+  const char* argv[] = {"bench", "--fulll"};
+  BenchOptions o;
+  std::string err;
+  EXPECT_FALSE(BenchOptions::tryParse(2, const_cast<char**>(argv), &o, &err));
+  EXPECT_NE(err.find("--fulll"), std::string::npos);
+}
+
+TEST(BenchOptions, TryParseReadsScaleFromEnv) {
+  ScopedEnv env("0.5");
+  const char* argv[] = {"bench"};
+  BenchOptions o;
+  std::string err;
+  ASSERT_TRUE(BenchOptions::tryParse(1, const_cast<char**>(argv), &o, &err));
+  EXPECT_DOUBLE_EQ(o.time_scale, 0.5);
+}
+
+TEST(BenchOptions, TryParseRejectsGarbageScaleEnv) {
+  ScopedEnv env("fast");
+  const char* argv[] = {"bench"};
+  BenchOptions o;
+  std::string err;
+  EXPECT_FALSE(BenchOptions::tryParse(1, const_cast<char**>(argv), &o, &err));
+  EXPECT_NE(err.find("NATLE_SIM_SCALE"), std::string::npos);
 }
