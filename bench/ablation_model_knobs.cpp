@@ -18,7 +18,7 @@ using namespace natle::workload;
 namespace {
 
 void planAblation(const BenchOptions& opt, exp::Plan& plan) {
-  auto sweep = std::make_shared<exp::SetSweep>(1);
+  auto sweep = std::make_shared<exp::SetSweep>(opt, 1);
   SetBenchConfig base;
   base.key_range = 2048;
   base.update_pct = 100;

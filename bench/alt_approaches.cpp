@@ -146,7 +146,7 @@ void planAlt(const BenchOptions& opt, exp::Plan& plan) {
   const double warmup = 0.8 * opt.time_scale;
   const std::vector<int> axis = {18, 36, 48, 72};
 
-  auto sweep = std::make_shared<exp::SetSweep>(1);
+  auto sweep = std::make_shared<exp::SetSweep>(opt, 1);
   SetBenchConfig cfg;
   cfg.key_range = kRange;
   cfg.update_pct = 100;

@@ -14,7 +14,7 @@ using namespace natle::workload;
 namespace {
 
 void planFig01(const BenchOptions& opt, exp::Plan& plan) {
-  auto sweep = std::make_shared<exp::SetSweep>(opt.full ? 3 : 1);
+  auto sweep = std::make_shared<exp::SetSweep>(opt);
   const std::pair<const char*, sim::MachineConfig> machines[] = {
       {"large-tle20", sim::LargeMachine()},
       {"small-tle20", sim::SmallMachine()},

@@ -24,7 +24,7 @@ void planFig02(const BenchOptions& opt, exp::Plan& plan) {
       {"TLE-20-count-lock", sync::Tle20CountLock()},
       {"TLE-5-count-lock", sync::Tle5CountLock()},
   };
-  auto sweep = std::make_shared<exp::SetSweep>(opt.full ? 3 : 1);
+  auto sweep = std::make_shared<exp::SetSweep>(opt);
   SetBenchConfig cfg;
   cfg.key_range = 131072;
   cfg.update_pct = 100;

@@ -11,7 +11,7 @@ using namespace natle::workload;
 namespace {
 
 void planFig03(const BenchOptions& opt, exp::Plan& plan) {
-  auto sweep = std::make_shared<exp::SetSweep>(opt.full ? 3 : 1);
+  auto sweep = std::make_shared<exp::SetSweep>(opt);
   SetBenchConfig cfg;
   cfg.key_range = 2048;
   cfg.sync = SyncKind::kTle;

@@ -14,7 +14,7 @@ using namespace natle::workload;
 namespace {
 
 void planFig04(const BenchOptions& opt, exp::Plan& plan) {
-  auto sweep = std::make_shared<exp::SetSweep>(opt.full ? 3 : 1);
+  auto sweep = std::make_shared<exp::SetSweep>(opt);
   SetBenchConfig cfg;
   cfg.key_range = 4096;
   cfg.search_replace = true;

@@ -15,7 +15,7 @@ using namespace natle::workload;
 namespace {
 
 void planFig12(const BenchOptions& opt, exp::Plan& plan) {
-  auto sweep = std::make_shared<exp::SetSweep>(opt.full ? 3 : 1);
+  auto sweep = std::make_shared<exp::SetSweep>(opt);
   SetBenchConfig cfg;
   cfg.key_range = 2048;
   cfg.measure_ms = 2.0 * opt.time_scale;

@@ -34,6 +34,7 @@ void printUsage(std::FILE* to) {
       "commands:\n"
       "  list                     list registered experiments\n"
       "  run [options]            run experiments, write CSV/JSON results\n"
+      "  trace EXPERIMENT [opts]  dump raw transaction event streams (JSONL)\n"
       "run options:\n"
       "  --all                    run every registered experiment\n"
       "  --filter GLOB            run experiments matching GLOB (* and ?;\n"
@@ -42,9 +43,17 @@ void printUsage(std::FILE* to) {
       "  --jobs N, -j N           worker threads (default 1; 0 = all host\n"
       "                           cores). Output is identical for any N.\n"
       "  --full                   denser axes, longer trials, 3 trials/point\n"
+      "  --trace                  record transaction events; per-point abort\n"
+      "                           attribution (killer matrix, hot lines,\n"
+      "                           fallback episodes) lands in the JSON records\n"
       "  --progress               per-data-point completion lines on stderr\n"
       "  --out-dir DIR            result directory (default bench_results)\n"
       "  --help, -h               this text\n"
+      "trace options:\n"
+      "  --series S               only jobs of series S\n"
+      "  --x N                    only jobs at x = N\n"
+      "  --trial N                only trial N\n"
+      "  --full                   the experiment's --full plan\n"
       "environment:\n"
       "  NATLE_SIM_SCALE=<float>  scale simulated trial length\n",
       to);
@@ -165,6 +174,8 @@ int cmdRun(int argc, char** argv) {
       ropt.jobs = static_cast<int>(n);
     } else if (std::strcmp(a, "--full") == 0) {
       opt.full = true;
+    } else if (std::strcmp(a, "--trace") == 0) {
+      opt.trace = true;
     } else if (std::strcmp(a, "--progress") == 0) {
       ropt.progress = true;
     } else if (std::strcmp(a, "--out-dir") == 0) {
@@ -270,6 +281,97 @@ int cmdRun(int argc, char** argv) {
   return 0;
 }
 
+// `natle-bench trace <experiment>`: expand the experiment's plan and print
+// each selected job's raw event stream, one JSON object per line, separated
+// by `# job ...` comment headers. Jobs re-run serially with raw event
+// retention; output is deterministic (line ids are ASLR-independent).
+int cmdTrace(int argc, char** argv) {
+  if (argc < 1 || argv[0][0] == '-') {
+    std::fprintf(stderr, "natle-bench: trace needs an experiment name\n");
+    return 2;
+  }
+  const std::string name = argv[0];
+  BenchOptions opt;
+  std::string series_filter;
+  bool have_x = false, have_trial = false;
+  double x_filter = 0;
+  long trial_filter = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto needValue = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "natle-bench: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(a, "--full") == 0) {
+      opt.full = true;
+    } else if (std::strcmp(a, "--series") == 0) {
+      series_filter = needValue(a);
+    } else if (std::strcmp(a, "--x") == 0) {
+      x_filter = std::atof(needValue(a));
+      have_x = true;
+    } else if (std::strcmp(a, "--trial") == 0) {
+      trial_filter = std::atol(needValue(a));
+      have_trial = true;
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      printUsage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "natle-bench: unknown trace argument: %s\n", a);
+      return 2;
+    }
+  }
+  if (const char* s = std::getenv("NATLE_SIM_SCALE")) {
+    if (!BenchOptions::parseScale(s, &opt.time_scale)) {
+      std::fprintf(stderr, "natle-bench: invalid NATLE_SIM_SCALE value: %s\n",
+                   s);
+      return 2;
+    }
+  }
+  const exp::Experiment* e = exp::Registry::instance().find(name);
+  if (e == nullptr) {
+    const auto matches = exp::Registry::instance().match(name);
+    if (matches.size() == 1) {
+      e = matches[0];
+    } else {
+      std::fprintf(stderr, "natle-bench: %s experiment: %s\n",
+                   matches.empty() ? "unknown" : "ambiguous", name.c_str());
+      return 1;
+    }
+  }
+  exp::Plan plan;
+  e->plan(opt, plan);
+  size_t dumped = 0, untraceable = 0;
+  for (const exp::Job& j : plan.jobs) {
+    if (!series_filter.empty() && j.series != series_filter) continue;
+    if (have_x && j.x != x_filter) continue;
+    if (have_trial && j.trial != trial_filter) continue;
+    if (!j.dump_trace) {
+      untraceable++;
+      continue;
+    }
+    std::printf("# job experiment=%s series=%s x=%g trial=%d seed=%llu\n",
+                e->name, j.series.c_str(), j.x, j.trial,
+                static_cast<unsigned long long>(j.seed));
+    const std::string stream = j.dump_trace();
+    std::fwrite(stream.data(), 1, stream.size(), stdout);
+    dumped++;
+  }
+  if (dumped == 0) {
+    std::fprintf(stderr, "natle-bench: no jobs matched%s\n",
+                 untraceable > 0 ? " (matching jobs do not support tracing)"
+                                 : "");
+    return 1;
+  }
+  if (untraceable > 0) {
+    std::fprintf(stderr, "natle-bench: %zu job(s) do not support tracing\n",
+                 untraceable);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -283,6 +385,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "run") == 0) {
     return cmdRun(argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "trace") == 0) {
+    return cmdTrace(argc - 2, argv + 2);
   }
   if (std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
     printUsage(stdout);

@@ -109,8 +109,13 @@ class AvlTree {
     if (c.load(n->height) != h) c.store(n->height, h);
   }
 
+  // Rotations and rebalance dereference children that the balance invariant
+  // guarantees exist. The guards make a violated invariant a hard stop (and
+  // drain a pending abort first) instead of undefined behavior — see
+  // ThreadCtx::requireConsistent.
   Node* rotateRight(htm::ThreadCtx& c, Node* y) {
     Node* x = c.load(y->left);
+    c.requireConsistent(x != nullptr);
     Node* t2 = c.load(x->right);
     c.store(x->right, y);
     c.store(y->left, t2);
@@ -121,6 +126,7 @@ class AvlTree {
 
   Node* rotateLeft(htm::ThreadCtx& c, Node* x) {
     Node* y = c.load(x->right);
+    c.requireConsistent(y != nullptr);
     Node* t2 = c.load(y->left);
     c.store(y->left, x);
     c.store(x->right, t2);
@@ -135,6 +141,7 @@ class AvlTree {
         heightOf(c, c.load(n->left)) - heightOf(c, c.load(n->right));
     if (bal > 1) {
       Node* l = c.load(n->left);
+      c.requireConsistent(l != nullptr);
       if (heightOf(c, c.load(l->left)) < heightOf(c, c.load(l->right))) {
         c.store(n->left, rotateLeft(c, l));
       }
@@ -142,6 +149,7 @@ class AvlTree {
     }
     if (bal < -1) {
       Node* r = c.load(n->right);
+      c.requireConsistent(r != nullptr);
       if (heightOf(c, c.load(r->right)) < heightOf(c, c.load(r->left))) {
         c.store(n->right, rotateRight(c, r));
       }

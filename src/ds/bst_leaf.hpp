@@ -32,7 +32,10 @@ class LeafBst {
     if (n == nullptr) return false;
     Node* l = c.load(n->left);
     while (l != nullptr) {  // descend while internal
+      // An internal node always has two children; the guard turns a
+      // violation into a hard stop (see ThreadCtx::requireConsistent).
       n = k < c.load(n->key) ? l : c.load(n->right);
+      c.requireConsistent(n != nullptr);
       l = c.load(n->left);
     }
     return c.load(n->key) == k;
@@ -51,6 +54,7 @@ class LeafBst {
       parent = n;
       went_left = k < c.load(n->key);
       n = went_left ? l : c.load(n->right);
+      c.requireConsistent(n != nullptr);
       l = c.load(n->left);
     }
     const int64_t leaf_key = c.load(n->key);
@@ -92,6 +96,7 @@ class LeafBst {
       parent = n;
       parent_left = k < c.load(n->key);
       n = parent_left ? l : c.load(n->right);
+      c.requireConsistent(n != nullptr);
       l = c.load(n->left);
     }
     if (c.load(n->key) != k) return false;

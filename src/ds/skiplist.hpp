@@ -80,6 +80,9 @@ class SkipList {
     }
     if (victim == nullptr) return false;
     const int level = static_cast<int>(c.load(victim->top_level));
+    // An out-of-range level would index past next[] below; the guard makes
+    // it a hard stop (see ThreadCtx::requireConsistent).
+    c.requireConsistent(level >= 0 && level < kMaxLevel);
     for (int lvl = 0; lvl <= level; ++lvl) {
       if (c.load(preds[lvl]->next[lvl]) == victim) {
         c.store(preds[lvl]->next[lvl], c.load(victim->next[lvl]));

@@ -30,6 +30,10 @@ struct Job {
   uint64_t seed = 0;
   std::string config_json;  // serialized sim config, embedded in the record
   std::function<PointData()> run;
+  // Re-runs this job with raw event retention and returns the JSONL event
+  // stream (`natle-bench trace <experiment>`). Unset for jobs whose planner
+  // does not support tracing.
+  std::function<std::string()> dump_trace;
 };
 
 struct Plan {

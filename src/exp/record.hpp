@@ -26,6 +26,10 @@ struct PointData {
   // Optional per-run history curve (e.g. Figure 18(b)'s socket-0 share per
   // NATLE cycle); emitted to JSON and expandable into CSV rows by emit().
   std::vector<std::pair<double, double>> curve;
+  // Serialized obs::Attribution object (abort attribution, killer matrix,
+  // hot lines) when the job ran with tracing; empty otherwise. Spliced into
+  // the JSON record verbatim.
+  std::string attribution_json;
 };
 
 // One CSV output row.

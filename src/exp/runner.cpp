@@ -78,6 +78,9 @@ std::string renderJson(const Experiment& e, const workload::BenchOptions& opt,
       }
       w.endArray();
     }
+    if (!p.attribution_json.empty()) {
+      w.key("attribution").raw(p.attribution_json);
+    }
     // Keep wall_ms last: it is the one nondeterministic field, and a fixed
     // position lets determinism checks strip it with a one-line filter.
     w.key("wall_ms").value(wall_ms[i]);

@@ -11,6 +11,7 @@ PointData runSetBenchPoint(const workload::SetBenchConfig& cfg) {
   p.value = r.mops;
   p.stats = r.stats;
   p.has_stats = true;
+  if (r.has_attribution) p.attribution_json = r.attribution.toJson();
   return p;
 }
 
@@ -20,6 +21,7 @@ void SetSweep::point(Plan& plan, std::string series, double x,
   for (int t = 0; t < trials_; ++t) {
     workload::SetBenchConfig c = cfg;
     c.trials = 1;
+    c.trace = trace_;
     // Same per-trial seed derivation runSetBench used internally, so a
     // sharded sweep reproduces the serial sweep's numbers exactly.
     c.seed = cfg.seed + 1000003ULL * static_cast<uint64_t>(t);
@@ -30,6 +32,11 @@ void SetSweep::point(Plan& plan, std::string series, double x,
     j.seed = c.seed;
     j.config_json = workload::toJson(c);
     j.run = [c] { return runSetBenchPoint(c); };
+    j.dump_trace = [c]() mutable {
+      c.trace = true;
+      c.trace_raw = true;
+      return workload::runSetBench(c).raw_trace;
+    };
     plan.jobs.push_back(std::move(j));
   }
 }

@@ -21,6 +21,13 @@ class SetSweep {
  public:
   explicit SetSweep(int trials) : trials_(trials < 1 ? 1 : trials) {}
 
+  // Standard bench-option mapping: 3 trials under --full (1 otherwise,
+  // unless `trials_override` pins it) and trace propagation into every
+  // planned config. `trials_override` < 1 means "derive from opt.full".
+  explicit SetSweep(const workload::BenchOptions& opt, int trials_override = 0)
+      : trials_(trials_override >= 1 ? trials_override : (opt.full ? 3 : 1)),
+        trace_(opt.trace) {}
+
   // Queue all trials of one data point onto the plan. `cfg.trials` is
   // ignored; this class owns trial expansion.
   void point(Plan& plan, std::string series, double x,
@@ -45,6 +52,7 @@ class SetSweep {
   };
   std::vector<Entry> entries_;
   int trials_;
+  bool trace_ = false;
 };
 
 }  // namespace natle::exp

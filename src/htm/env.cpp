@@ -1,7 +1,10 @@
 #include "htm/env.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+
+#include "obs/trace.hpp"
 
 namespace natle::htm {
 
@@ -49,6 +52,12 @@ void ThreadCtx::work(uint64_t cycles) {
   env_.machine_.maybeYield(*st_);
 }
 
+void ThreadCtx::requireConsistent(bool invariant_holds) {
+  if (invariant_holds) [[likely]] return;
+  checkPendingAbort();  // doomed transaction: longjmps to the landing pad
+  std::abort();         // consistent view with a broken invariant
+}
+
 void ThreadCtx::checkPendingAbort() {
   if (txn_.pending_abort) {
     txn_.pending_abort = false;
@@ -61,18 +70,64 @@ void ThreadCtx::spuriousHazard() {
   const uint64_t elapsed = st_->clock - txn_.last_hazard_clock;
   if (elapsed == 0) return;
   txn_.last_hazard_clock = st_->clock;
-  const double p =
-      static_cast<double>(elapsed) * env_.cfg().spurious_abort_per_cycle;
+  // Hazards arrive as a Poisson process with the configured per-cycle rate;
+  // the hit probability over `elapsed` cycles is 1 - e^(-rate * elapsed).
+  // (The naive `elapsed * rate` overestimates and exceeds 1 for windows
+  // longer than 1/rate.)
+  // expm1 is too slow for this per-access path, so the typical tiny
+  // exponent takes the two-term series, exact to ~x^3/6.
+  const double x = env_.cfg().spurious_abort_per_cycle *
+                   static_cast<double>(elapsed);
+  const double p = x < 1e-4 ? x - 0.5 * x * x : -std::expm1(-x);
   if (p > 0 && st_->rng.chance(p)) {
     selfAbort(AbortReason::kSpurious, false, 0);
   }
 }
 
-void ThreadCtx::selfAbort(AbortReason r, bool may_retry, uint8_t code) {
-  env_.abortTxn(txn_, r, may_retry, code);
+void ThreadCtx::selfAbort(AbortReason r, bool may_retry, uint8_t code,
+                          uint64_t line) {
+  env_.abortTxn(txn_, r, may_retry, code, /*killer=*/nullptr, line);
   txn_.pending_abort = false;
   chargeMem(env_.cfg().tx_abort_cost);
   std::longjmp(txn_.jb, 1);
+}
+
+// Resolve an L1 insertion that had to displace a pinned transactional line:
+// every transaction that owned the evicted line suffers a capacity abort.
+// The hyperthread sibling (if any) is aborted first; our own abort longjmps,
+// so it must come last.
+void ThreadCtx::handleCapacityEviction(const mem::L1Cache::InsertResult& ir) {
+  if (ir.capacity_victim == nullptr) return;
+  Txn* victims[2] = {static_cast<Txn*>(ir.capacity_victim),
+                     static_cast<Txn*>(ir.capacity_victim2)};
+  if (obs::Tracer* tr = env_.tracer();
+      tr != nullptr && st_->clock >= env_.stats_start_) {
+    for (Txn* v : victims) {
+      if (v == nullptr) continue;
+      obs::TraceEvent e;
+      e.clock = st_->clock;
+      e.kind = obs::EventKind::kCapacityEvict;
+      e.tid = static_cast<int16_t>(tid());  // the evictor
+      e.socket = static_cast<int8_t>(socket());
+      e.killer_tid = static_cast<int16_t>(v->owner->tid());  // the victim
+      e.killer_socket = static_cast<int8_t>(v->owner->socket());
+      e.line = env_.alloc_.stableLineId(ir.victim_line);
+      e.set = ir.victim_set;
+      e.way = ir.victim_way;
+      tr->record(e);
+    }
+  }
+  bool self = false;
+  for (Txn* v : victims) {
+    if (v == nullptr) continue;
+    if (v == &txn_) {
+      self = true;
+      continue;
+    }
+    env_.abortTxn(*v, AbortReason::kCapacity, /*may_retry=*/false, 0, this,
+                  ir.victim_line);
+  }
+  if (self) selfAbort(AbortReason::kCapacity, false, 0, ir.victim_line);
 }
 
 void ThreadCtx::registerRead(uint64_t line, mem::LineState& s) {
@@ -114,16 +169,19 @@ void ThreadCtx::accessRead(const void* addr) {
   if (e != nullptr) {
     chargeMem(cfg.l1_hit);
     if (count) stats_->l1_hits++;
-    if (tx != nullptr && !(e->tx == tx && e->tx_seq == txn_.seq)) {
+    if (tx != nullptr && !l1_->ownedBy(e, tx)) {
       registerRead(line, *e->state);
-      mem::L1Cache::tag(*e, tx);
+      // tag() adds us as a second owner when the hyperthread sibling already
+      // pinned this line — overwriting its pin would let a later eviction
+      // displace the sibling's transactional line without aborting it.
+      l1_->tag(e, tx);
     }
   } else {
     mem::LineState& s = env_.dir_.lookup(line, env_.alloc_.homeOf(line));
     if (s.tx_writer != nullptr && s.tx_writer != &txn_) {
       // Our fetch invalidates the writer's buffered line: it aborts.
       env_.abortTxn(*static_cast<Txn*>(s.tx_writer), AbortReason::kConflict,
-                    /*may_retry=*/true, 0);
+                    /*may_retry=*/true, 0, this, line);
     }
     const int sock = st_->slot.socket;
     uint32_t lat;
@@ -144,20 +202,21 @@ void ThreadCtx::accessRead(const void* addr) {
     }
     s.addSharer(sock);
     chargeMem(lat);
-    auto ir = l1_->insert(line, &s, tx);
-    if (ir.capacity_victim != nullptr) {
-      auto* victim = static_cast<Txn*>(ir.capacity_victim);
-      if (victim == &txn_) {
-        selfAbort(AbortReason::kCapacity, false, 0);
-      }
-      env_.abortTxn(*victim, AbortReason::kCapacity, /*may_retry=*/false, 0);
-    }
+    const auto ir = l1_->insert(line, &s, tx);
+    if (ir.capacity_victim != nullptr) handleCapacityEviction(ir);
     if (tx != nullptr) registerRead(line, s);
   }
   if (tx != nullptr) spuriousHazard();
 #ifndef NATLE_DEBUG_NO_YIELD_READ
   env_.machine_.maybeYield(*st_);
 #endif
+  // A conflicting writer may have aborted us during the yield above — and
+  // already rolled our speculation back. Deliver that abort *before* load()
+  // reads the memory, or the caller would observe the rolled-back value (a
+  // "zombie" view breaking every data-structure invariant; real HTM stops
+  // the victim instantly). Nothing is charged between here and the delivery
+  // point at the next ThreadCtx entry, so simulated time is unaffected.
+  checkPendingAbort();
 }
 
 void ThreadCtx::accessWrite(void* addr, uint64_t bits, uint8_t size) {
@@ -185,7 +244,7 @@ void ThreadCtx::accessWrite(void* addr, uint64_t bits, uint8_t size) {
   // holding this line.
   if (s.tx_writer != nullptr && s.tx_writer != &txn_) {
     env_.abortTxn(*static_cast<Txn*>(s.tx_writer), AbortReason::kConflict,
-                  /*may_retry=*/true, 0);
+                  /*may_retry=*/true, 0, this, line);
   }
   for (size_t i = 0; i < s.tx_readers.size();) {
     auto* r = static_cast<Txn*>(s.tx_readers[i]);
@@ -194,7 +253,8 @@ void ThreadCtx::accessWrite(void* addr, uint64_t bits, uint8_t size) {
       continue;
     }
     // abortTxn removes r from s.tx_readers, so do not advance i.
-    env_.abortTxn(*r, AbortReason::kConflict, /*may_retry=*/true, 0);
+    env_.abortTxn(*r, AbortReason::kConflict, /*may_retry=*/true, 0, this,
+                  line);
   }
 
   // Latency: ownership acquisition.
@@ -240,14 +300,8 @@ void ThreadCtx::accessWrite(void* addr, uint64_t bits, uint8_t size) {
   s.owner_socket = static_cast<int8_t>(sock);
   s.sharer_mask = static_cast<uint16_t>(1u << sock);
 
-  auto ir = l1_->insert(line, &s, tx);
-  if (ir.capacity_victim != nullptr) {
-    auto* victim = static_cast<Txn*>(ir.capacity_victim);
-    if (victim == &txn_) {
-      selfAbort(AbortReason::kCapacity, false, 0);
-    }
-    env_.abortTxn(*victim, AbortReason::kCapacity, /*may_retry=*/false, 0);
-  }
+  const auto ir = l1_->insert(line, &s, tx);
+  if (ir.capacity_victim != nullptr) handleCapacityEviction(ir);
 
   if (tx != nullptr && s.tx_writer != &txn_) {
     s.tx_writer = &txn_;
@@ -259,6 +313,9 @@ void ThreadCtx::accessWrite(void* addr, uint64_t bits, uint8_t size) {
 #ifndef NATLE_DEBUG_NO_YIELD_WRITE
   env_.machine_.maybeYield(*st_);
 #endif
+  // See accessRead: an abort landing in the yield above has already undone
+  // this store; returning normally would let the caller run on as a zombie.
+  checkPendingAbort();
 }
 
 unsigned ThreadCtx::txStart() {
@@ -269,7 +326,19 @@ unsigned ThreadCtx::txStart() {
   env_.in_flight_count_++;
   txn_.begin_clock = st_->clock;
   txn_.last_hazard_clock = st_->clock;
-  if (st_->clock >= env_.stats_start_) stats_->tx_begins++;
+  txn_.attempt_in_seq++;
+  if (st_->clock >= env_.stats_start_) {
+    stats_->tx_begins++;
+    if (obs::Tracer* tr = env_.tracer(); tr != nullptr) {
+      obs::TraceEvent e;
+      e.clock = st_->clock;
+      e.kind = obs::EventKind::kTxBegin;
+      e.tid = static_cast<int16_t>(tid());
+      e.socket = static_cast<int8_t>(socket());
+      e.attempt = txn_.attempt_in_seq;
+      tr->record(e);
+    }
+  }
   env_.machine_.chargeWork(*st_, env_.cfg().tx_begin_cost);
   env_.machine_.maybeYield(*st_);
   return kTxStarted;
@@ -296,6 +365,14 @@ void ThreadCtx::txCommit() {
   if (st_->clock >= env_.stats_start_) {
     stats_->tx_commits++;
     if (txn_.hintclear_in_seq) stats_->commits_after_hintclear_fail++;
+    if (obs::Tracer* tr = env_.tracer(); tr != nullptr) {
+      obs::TraceEvent e;
+      e.clock = st_->clock;
+      e.kind = obs::EventKind::kTxCommit;
+      e.tid = static_cast<int16_t>(tid());
+      e.socket = static_cast<int8_t>(socket());
+      tr->record(e);
+    }
   }
   if (env_.debug_on_commit) env_.debug_on_commit(*this);
   env_.machine_.maybeYield(*st_);
@@ -474,7 +551,8 @@ void Env::debugDumpInFlight(uint64_t interesting_line) {
   }
 }
 
-void Env::abortTxn(Txn& v, AbortReason reason, bool may_retry, uint8_t code) {
+void Env::abortTxn(Txn& v, AbortReason reason, bool may_retry, uint8_t code,
+                   ThreadCtx* killer, uint64_t line) {
   assert(v.in_flight);
   v.in_flight = false;
   in_flight_count_--;
@@ -509,6 +587,31 @@ void Env::abortTxn(Txn& v, AbortReason reason, bool may_retry, uint8_t code) {
   ThreadCtx* o = v.owner;
   if (o->st_->clock >= stats_start_) {
     o->stats_->tx_aborts[static_cast<int>(reason)]++;
+  }
+  // Trace inclusion must mirror the stats gate above (the victim's clock),
+  // or the attribution totals drift from TxStats by the aborts straddling
+  // the warmup boundary.
+  if (tracer_ != nullptr && o->st_->clock >= stats_start_) {
+    // The requester (killer) is the currently running thread; for
+    // self-inflicted aborts the victim is. Stamping the runner's clock keeps
+    // the event stream nondecreasing in simulated time.
+    const uint64_t now = killer != nullptr ? killer->st_->clock : o->st_->clock;
+    {
+      obs::TraceEvent e;
+      e.clock = now;
+      e.kind = obs::EventKind::kTxAbort;
+      e.reason = reason;
+      e.may_retry = may_retry;
+      e.tid = static_cast<int16_t>(o->tid());
+      e.socket = static_cast<int8_t>(o->socket());
+      if (killer != nullptr) {
+        e.killer_tid = static_cast<int16_t>(killer->tid());
+        e.killer_socket = static_cast<int8_t>(killer->socket());
+      }
+      e.line = line != 0 ? alloc_.stableLineId(line) : 0;
+      e.attempt = v.attempt_in_seq;
+      tracer_->record(e);
+    }
   }
 }
 

@@ -17,6 +17,10 @@
 #include "mem/l1.hpp"
 #include "sim/machine.hpp"
 
+namespace natle::obs {
+class Tracer;
+}
+
 namespace natle::htm {
 
 class Env;
@@ -109,8 +113,22 @@ class ThreadCtx {
   bool inTx() const { return txn_.in_flight; }
   const AbortStatus& lastAbort() const { return txn_.last_abort; }
   // Marks the start of a critical-section attempt sequence (for the
-  // commits-after-hint-clear-failure statistic). Called by the lock layer.
-  void resetAttemptSeq() { txn_.hintclear_in_seq = false; }
+  // commits-after-hint-clear-failure statistic and the trace attempt
+  // counter). Called by the lock layer.
+  void resetAttemptSeq() {
+    txn_.hintclear_in_seq = false;
+    txn_.attempt_in_seq = 0;
+  }
+  // Assert a data-structure invariant ("a node with balance > 1 has a left
+  // child") from simulated code. A cross-thread abort delivered during an
+  // access longjmps before the access returns its value, so a transaction
+  // never observes rolled-back ("zombie") memory and such invariants hold in
+  // every view a live section can see. On a violation this first drains any
+  // abort that landed while the thread was parked outside an access (work(),
+  // backoff) — delivered here at the same simulated cycle it would be at the
+  // next access — and otherwise kills the process: the structure is
+  // genuinely corrupt.
+  void requireConsistent(bool invariant_holds);
 
   // --- identity -----------------------------------------------------------
   int tid() const { return st_->tid; }
@@ -147,7 +165,13 @@ class ThreadCtx {
   void accessWrite(void* addr, uint64_t bits, uint8_t size);
   void checkPendingAbort();
   void spuriousHazard();
-  [[noreturn]] void selfAbort(AbortReason r, bool may_retry, uint8_t code);
+  [[noreturn]] void selfAbort(AbortReason r, bool may_retry, uint8_t code,
+                              uint64_t line = 0);
+  // Cold and kept out of line: it sits on the access fast paths, which only
+  // call it after checking that the insertion actually displaced a pinned
+  // line — inlining its abort/trace machinery there bloats both paths.
+  [[gnu::noinline, gnu::cold]] void handleCapacityEviction(
+      const mem::L1Cache::InsertResult& ir);
   void registerRead(uint64_t line, mem::LineState& s);
   void chargeMem(uint64_t cycles);
   static unsigned encodeStatus(const AbortStatus& a);
@@ -207,8 +231,17 @@ class Env {
   mem::L1Cache& l1(int core) { return l1s_[core]; }
 
   // Abort a victim transaction on behalf of a requester (or the hazard
-  // machinery). Rolls back memory immediately.
-  void abortTxn(Txn& victim, AbortReason reason, bool may_retry, uint8_t code);
+  // machinery). Rolls back memory immediately. `killer` identifies the
+  // requesting thread for abort attribution (nullptr = self-inflicted or
+  // hardware-internal); `line` the conflicting line, when known.
+  void abortTxn(Txn& victim, AbortReason reason, bool may_retry, uint8_t code,
+                ThreadCtx* killer = nullptr, uint64_t line = 0);
+
+  // Attach (or detach, with nullptr) a trace sink. Not owned. With no
+  // tracer attached every emission site is a single pointer test, and a
+  // traced run is observationally identical to an untraced one.
+  void setTracer(obs::Tracer* t) { tracer_ = t; }
+  obs::Tracer* tracer() const { return tracer_; }
 
   // Cross-socket link bandwidth model: called for every remote transfer.
   // Returns the queueing delay at time `now` and reserves the link.
@@ -254,6 +287,7 @@ class Env {
   int in_flight_count_ = 0;
   uint64_t link_free_ = 0;
   bool debug_audit_ = false;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace natle::htm

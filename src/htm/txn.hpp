@@ -53,6 +53,10 @@ class Txn : public mem::TxBase {
   // with the hint bit clear (Fig. 2(b) bookkeeping; reset by the lock layer).
   bool hintclear_in_seq = false;
 
+  // 1-based attempt number within the current critical-section sequence
+  // (reset by the lock layer alongside hintclear_in_seq; trace-only).
+  uint16_t attempt_in_seq = 0;
+
   static uint64_t bloomBit(uint64_t line) { return 1ull << (line % 64); }
 
   bool inReadSet(uint64_t line) const {

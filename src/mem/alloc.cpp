@@ -33,10 +33,11 @@ void* SimAllocator::carve(size_t bytes, int home_socket) {
     chunk_size = (chunk_size + kChunkAlign - 1) / kChunkAlign * kChunkAlign;
     char* base = static_cast<char*>(std::aligned_alloc(kChunkAlign, chunk_size));
     if (base == nullptr) throw std::bad_alloc();
+    const uint32_t ordinal = static_cast<uint32_t>(chunks_.size());
     chunks_.push_back(Chunk{base, chunk_size, static_cast<int8_t>(home_socket)});
     uint64_t first = lineOf(base);
     uint64_t last = lineOf(base + chunk_size - 1);
-    homes_[first] = {last, static_cast<int8_t>(home_socket)};
+    homes_[first] = {last, static_cast<int8_t>(home_socket), ordinal};
     cursor = base;
     remaining = chunk_size;
   }
@@ -61,8 +62,17 @@ int8_t SimAllocator::homeOf(uint64_t line) const {
   auto it = homes_.upper_bound(line);
   if (it == homes_.begin()) return 0;
   --it;
-  if (line >= it->first && line <= it->second.first) return it->second.second;
+  if (line >= it->first && line <= it->second.end_line) return it->second.home;
   return 0;
+}
+
+uint64_t SimAllocator::stableLineId(uint64_t line) const {
+  auto it = homes_.upper_bound(line);
+  if (it == homes_.begin()) return 0;
+  --it;
+  if (line < it->first || line > it->second.end_line) return 0;
+  const uint64_t offset = line - it->first;
+  return (static_cast<uint64_t>(it->second.ordinal) + 1) << 32 | offset;
 }
 
 }  // namespace natle::mem

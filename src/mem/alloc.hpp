@@ -34,6 +34,13 @@ class SimAllocator {
   // or stack memory used by harness code).
   int8_t homeOf(uint64_t line) const;
 
+  // ASLR-independent identifier for a line: (chunk ordinal + 1) << 32 |
+  // line offset within the chunk. Chunk ordinals follow allocation order,
+  // which is deterministic per simulation, so trace dumps containing line
+  // ids are byte-identical across processes. Returns 0 for lines the
+  // allocator never handed out.
+  uint64_t stableLineId(uint64_t line) const;
+
   size_t liveBytes() const { return live_bytes_; }
   bool padded() const { return pad_; }
 
@@ -60,8 +67,13 @@ class SimAllocator {
   // Bump arenas per home socket.
   std::vector<Chunk> chunks_;
   std::map<int, std::pair<char*, size_t>> arena_;  // home -> (cursor, remaining)
-  // Interval map line -> home: keyed by first line of a chunk.
-  std::map<uint64_t, std::pair<uint64_t, int8_t>> homes_;  // start -> (end, home)
+  // Interval map keyed by first line of a chunk.
+  struct ChunkSpan {
+    uint64_t end_line;  // inclusive
+    int8_t home;
+    uint32_t ordinal;  // index into chunks_ (allocation order)
+  };
+  std::map<uint64_t, ChunkSpan> homes_;  // start line -> span
   std::map<void*, size_t> live_;                           // ptr -> padded size
   size_t live_bytes_ = 0;
 };

@@ -20,22 +20,47 @@ namespace natle::mem {
 
 class L1Cache {
  public:
+  // A way can have up to two transactional owners — one per hyperthread
+  // sibling. Both siblings can hold the same line in their read sets at
+  // once; a single owner slot would let the second reader's tag silently
+  // strip the first reader's capacity pin, so the first could then be
+  // evicted without the abort the hardware would deliver.
+  //
+  // Layout: the first owner lives in the entry itself, so the hot-path
+  // ownership test (`ownedBy`) is satisfied from the cache line the probe
+  // already touched. The second slot — populated only while both siblings
+  // pin the same line, a rare state — lives in a parallel array and is
+  // consulted only when the first slot does not match.
   struct Entry {
     uint64_t line = 0;
     LineState* state = nullptr;
-    uint32_t version = 0;  // valid iff version == state->version
-    TxBase* tx = nullptr;  // transaction that touched it, if any
+    uint32_t version = 0;   // valid iff version == state->version
+    TxBase* tx = nullptr;   // first transactional owner, if any
     uint64_t tx_seq = 0;
+  };
+
+  struct SiblingSlot {
+    TxBase* tx2 = nullptr;  // second owner (the hyperthread sibling)
+    uint64_t tx2_seq = 0;
   };
 
   struct InsertResult {
     bool inserted = false;
-    TxBase* capacity_victim = nullptr;  // transaction to abort, if eviction
-                                        // had to claim a transactional line
+    // Transactions to abort because eviction had to claim a line they had
+    // pinned. Two when both hyperthread siblings owned the evicted line.
+    TxBase* capacity_victim = nullptr;
+    TxBase* capacity_victim2 = nullptr;
+    uint64_t victim_line = 0;  // the line that was displaced
+    uint16_t victim_set = 0;
+    uint8_t victim_way = 0;
   };
 
   L1Cache(uint32_t sets, uint32_t ways)
-      : sets_(sets), ways_(ways), entries_(sets * ways), rr_(sets, 0) {}
+      : sets_(sets),
+        ways_(ways),
+        entries_(sets * ways),
+        siblings_(sets * ways),
+        rr_(sets, 0) {}
 
   // Returns the valid entry for `line`, or nullptr on miss.
   Entry* probe(uint64_t line) {
@@ -56,73 +81,137 @@ class L1Cache {
   // (preferring a victim other than `tx` — the sibling's transaction — and
   // falling back to self-abort, a genuine overflow).
   InsertResult insert(uint64_t line, LineState* state, TxBase* tx) {
-    Entry* set = &entries_[(line & (sets_ - 1)) * ways_];
-    Entry* victim = nullptr;
-    // Pass 1: invalid or empty way.
+    const uint32_t set_idx = static_cast<uint32_t>(line & (sets_ - 1));
+    Entry* set = &entries_[set_idx * ways_];
+    SiblingSlot* sib = &siblings_[set_idx * ways_];
+    InsertResult r;
+    // A still-valid entry for this very line: keep it and add `tx` as an
+    // owner instead of re-installing (which would drop a sibling's pin).
+    for (uint32_t w = 0; w < ways_; ++w) {
+      Entry& e = set[w];
+      if (e.line == line && e.state != nullptr && e.version == e.state->version) {
+        tagSlots(e, sib[w], tx);
+        r.inserted = true;
+        return r;
+      }
+    }
+    uint32_t victim = ways_;
+    // Pass 1: invalid or empty way (a stale entry for this line qualifies).
     for (uint32_t w = 0; w < ways_; ++w) {
       Entry& e = set[w];
       if (e.state == nullptr || e.version != e.state->version || e.line == line) {
-        victim = &e;
+        victim = w;
         break;
       }
     }
-    // Pass 2: a way whose transaction is no longer live (or was plain).
-    if (victim == nullptr) {
-      uint32_t start = rr_[line & (sets_ - 1)]++;
+    // Pass 2: a way no live transaction has pinned.
+    if (victim == ways_) {
+      uint32_t start = rr_[set_idx]++;
       for (uint32_t i = 0; i < ways_; ++i) {
-        Entry& e = set[(start + i) % ways_];
-        if (!txLive(e)) {
-          victim = &e;
+        const uint32_t w = (start + i) % ways_;
+        if (!slotLive(set[w].tx, set[w].tx_seq) &&
+            !slotLive(sib[w].tx2, sib[w].tx2_seq)) {
+          victim = w;
           break;
         }
       }
     }
-    InsertResult r;
-    if (victim == nullptr) {
+    if (victim == ways_) {
       // Every way is pinned by a live transaction: evict one. Prefer a line
-      // of some *other* transaction (hyperthread sibling) over our own.
-      uint32_t start = rr_[line & (sets_ - 1)]++;
+      // `tx` itself has no stake in (the hyperthread sibling's) over our own.
+      uint32_t start = rr_[set_idx]++;
       for (uint32_t i = 0; i < ways_; ++i) {
-        Entry& e = set[(start + i) % ways_];
-        if (e.tx != tx) {
-          victim = &e;
+        const uint32_t w = (start + i) % ways_;
+        if (!holds(set[w], sib[w], tx)) {
+          victim = w;
           break;
         }
       }
-      if (victim == nullptr) victim = &set[start % ways_];  // self-abort
-      r.capacity_victim = victim->tx;
+      if (victim == ways_) victim = start % ways_;  // self-abort
+      const Entry& ve = set[victim];
+      const SiblingSlot& vs = sib[victim];
+      if (slotLive(ve.tx, ve.tx_seq)) r.capacity_victim = ve.tx;
+      if (slotLive(vs.tx2, vs.tx2_seq)) {
+        (r.capacity_victim == nullptr ? r.capacity_victim
+                                      : r.capacity_victim2) = vs.tx2;
+      }
+      r.victim_line = ve.line;
+      r.victim_set = static_cast<uint16_t>(set_idx);
+      r.victim_way = static_cast<uint8_t>(victim);
     }
-    victim->line = line;
-    victim->state = state;
-    victim->version = state->version;
-    victim->tx = tx;
-    victim->tx_seq = tx != nullptr ? tx->seq : 0;
+    Entry& v = set[victim];
+    v.line = line;
+    v.state = state;
+    v.version = state->version;
+    v.tx = tx;
+    v.tx_seq = tx != nullptr ? tx->seq : 0;
+    sib[victim] = SiblingSlot{};
     r.inserted = true;
     return r;
   }
 
   // Mark an already-resident line as belonging to `tx` (a transaction that
-  // re-reads a line the core cached earlier).
-  static void tag(Entry& e, TxBase* tx) {
-    e.tx = tx;
-    e.tx_seq = tx != nullptr ? tx->seq : 0;
+  // re-reads a line the core cached earlier), preserving any *other* live
+  // owner — the hyperthread sibling keeps its capacity pin.
+  void tag(Entry* e, TxBase* tx) {
+    tagSlots(*e, siblings_[e - entries_.data()], tx);
+  }
+
+  // Does `tx` itself hold a live pin on this entry? The first-slot test is
+  // resolved entirely from `e`; only a sibling-shared line (first slot held
+  // by the other hyperthread) touches the parallel array.
+  bool ownedBy(const Entry* e, const TxBase* tx) const {
+    if (tx == nullptr) return false;
+    if (e->tx == tx) return slotLive(e->tx, e->tx_seq);
+    const SiblingSlot& s = siblings_[e - entries_.data()];
+    return s.tx2 == tx && slotLive(s.tx2, s.tx2_seq);
   }
 
   void flush() {
     for (auto& e : entries_) e = Entry{};
+    for (auto& s : siblings_) s = SiblingSlot{};
   }
 
   uint32_t sets() const { return sets_; }
   uint32_t ways() const { return ways_; }
 
  private:
-  static bool txLive(const Entry& e) {
-    return e.tx != nullptr && e.tx->in_flight && e.tx->seq == e.tx_seq;
+  static void tagSlots(Entry& e, SiblingSlot& s, TxBase* tx) {
+    if (!slotLive(e.tx, e.tx_seq)) {
+      e.tx = nullptr;
+      e.tx_seq = 0;
+    }
+    if (!slotLive(s.tx2, s.tx2_seq)) {
+      s.tx2 = nullptr;
+      s.tx2_seq = 0;
+    }
+    if (tx == nullptr) return;  // plain access never strips a live pin
+    if (e.tx == tx || (e.tx == nullptr && s.tx2 != tx)) {
+      e.tx = tx;
+      e.tx_seq = tx->seq;
+    } else if (s.tx2 == tx || s.tx2 == nullptr) {
+      s.tx2 = tx;
+      s.tx2_seq = tx->seq;
+    } else {
+      // Two other live owners already — cannot happen with two hyperthreads
+      // per core, but keep the newest owner if it somehow does.
+      s.tx2 = tx;
+      s.tx2_seq = tx->seq;
+    }
+  }
+
+  static bool slotLive(const TxBase* tx, uint64_t seq) {
+    return tx != nullptr && tx->in_flight && tx->seq == seq;
+  }
+  static bool holds(const Entry& e, const SiblingSlot& s, const TxBase* tx) {
+    return tx != nullptr && ((e.tx == tx && slotLive(e.tx, e.tx_seq)) ||
+                             (s.tx2 == tx && slotLive(s.tx2, s.tx2_seq)));
   }
 
   uint32_t sets_;
   uint32_t ways_;
   std::vector<Entry> entries_;
+  std::vector<SiblingSlot> siblings_;
   std::vector<uint32_t> rr_;
 };
 

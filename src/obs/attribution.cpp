@@ -1,0 +1,149 @@
+#include "obs/attribution.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+#include "workload/json.hpp"
+
+namespace natle::obs {
+
+void Attribution::growMatrix(int socket) {
+  const size_t need = static_cast<size_t>(socket) + 1;
+  if (matrix_.size() < need) {
+    for (auto& row : matrix_) row.resize(need, 0);
+    while (matrix_.size() < need) {
+      matrix_.emplace_back(need, 0);
+    }
+  }
+}
+
+void Attribution::countAbort(int killer_socket, int victim_socket) {
+  if (killer_socket < 0 || victim_socket < 0) {
+    self_or_unknown_aborts_++;
+    return;
+  }
+  growMatrix(std::max(killer_socket, victim_socket));
+  matrix_[static_cast<size_t>(killer_socket)][static_cast<size_t>(victim_socket)]++;
+  if (killer_socket == victim_socket) {
+    intra_socket_aborts_++;
+  } else {
+    cross_socket_aborts_++;
+  }
+}
+
+void Attribution::consume(const TraceEvent& e) {
+  switch (e.kind) {
+    case EventKind::kTxBegin:
+      tx_begins_++;
+      break;
+    case EventKind::kTxCommit:
+      tx_commits_++;
+      break;
+    case EventKind::kTxAbort:
+      tx_aborts_total_++;
+      aborts_by_reason_[static_cast<int>(e.reason)]++;
+      countAbort(e.killer_tid >= 0 ? e.killer_socket : -1, e.socket);
+      if (e.line != 0) line_aborts_[e.line]++;
+      break;
+    case EventKind::kLockFallback: {
+      lock_fallbacks_++;
+      const bool continues = current_episode_len_ > 0 &&
+                             e.clock - last_fallback_clock_ <= kEpisodeGapCycles;
+      if (continues) {
+        if (++current_episode_len_ == 2) fallback_episodes_++;
+      } else {
+        current_episode_len_ = 1;
+      }
+      if (current_episode_len_ > longest_episode_) {
+        longest_episode_ = current_episode_len_;
+      }
+      last_fallback_clock_ = e.clock;
+      break;
+    }
+    case EventKind::kCapacityEvict:
+      capacity_evictions_++;
+      break;
+  }
+}
+
+Attribution& Attribution::operator+=(const Attribution& o) {
+  tx_begins_ += o.tx_begins_;
+  tx_commits_ += o.tx_commits_;
+  tx_aborts_total_ += o.tx_aborts_total_;
+  for (int i = 0; i < htm::kAbortReasonCount; ++i) {
+    aborts_by_reason_[i] += o.aborts_by_reason_[i];
+  }
+  capacity_evictions_ += o.capacity_evictions_;
+  if (!o.matrix_.empty()) {
+    growMatrix(static_cast<int>(o.matrix_.size()) - 1);
+    for (size_t k = 0; k < o.matrix_.size(); ++k) {
+      for (size_t v = 0; v < o.matrix_[k].size(); ++v) {
+        matrix_[k][v] += o.matrix_[k][v];
+      }
+    }
+  }
+  cross_socket_aborts_ += o.cross_socket_aborts_;
+  intra_socket_aborts_ += o.intra_socket_aborts_;
+  self_or_unknown_aborts_ += o.self_or_unknown_aborts_;
+  for (const auto& [line, n] : o.line_aborts_) line_aborts_[line] += n;
+  lock_fallbacks_ += o.lock_fallbacks_;
+  fallback_episodes_ += o.fallback_episodes_;
+  longest_episode_ = std::max(longest_episode_, o.longest_episode_);
+  // Episodes never span trials: the in-progress run state is not merged.
+  return *this;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> Attribution::hotLines(
+    size_t k) const {
+  std::vector<std::pair<uint64_t, uint64_t>> all(line_aborts_.begin(),
+                                                 line_aborts_.end());
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::string Attribution::toJson(size_t top_k) const {
+  workload::JsonWriter w;
+  w.beginObject();
+  w.key("tx_begins").value(tx_begins_);
+  w.key("tx_commits").value(tx_commits_);
+  w.key("tx_aborts").value(tx_aborts_total_);
+  w.key("aborts_by_reason");
+  w.beginObject();
+  for (int i = 1; i < htm::kAbortReasonCount; ++i) {
+    w.key(htm::toString(static_cast<htm::AbortReason>(i)))
+        .value(aborts_by_reason_[i]);
+  }
+  w.endObject();
+  w.key("killer_matrix");  // [killer_socket][victim_socket]
+  w.beginArray();
+  for (const auto& row : matrix_) {
+    w.beginArray();
+    for (uint64_t n : row) w.value(n);
+    w.endArray();
+  }
+  w.endArray();
+  w.key("cross_socket_aborts").value(cross_socket_aborts_);
+  w.key("intra_socket_aborts").value(intra_socket_aborts_);
+  w.key("self_or_unknown_aborts").value(self_or_unknown_aborts_);
+  w.key("hot_lines");
+  w.beginArray();
+  for (const auto& [line, n] : hotLines(top_k)) {
+    w.beginObject();
+    w.key("line").value(line);
+    w.key("aborts").value(n);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("capacity_evictions").value(capacity_evictions_);
+  w.key("lock_fallbacks").value(lock_fallbacks_);
+  w.key("fallback_episodes").value(fallback_episodes_);
+  w.key("longest_fallback_episode").value(longest_episode_);
+  w.endObject();
+  return w.take();
+}
+
+}  // namespace natle::obs

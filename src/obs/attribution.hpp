@@ -1,0 +1,90 @@
+// Streaming aggregation of the trace event stream into the paper-grade
+// attribution summaries: a killer→victim conflict matrix at socket
+// granularity (the cross- vs intra-socket abort split is the paper's core
+// NUMA-amplification claim, Figs. 2/5), a per-line conflict heatmap, and
+// fallback/lemming episode statistics.
+//
+// Everything here is mergeable (operator+=) so multi-trial sweeps can sum
+// attribution the same way they sum TxStats, and the JSON rendering is
+// deterministic: maps iterate in key order and top-K ties break toward the
+// lower line id.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "htm/abort.hpp"
+
+namespace natle::obs {
+
+struct TraceEvent;
+
+class Attribution {
+ public:
+  // Consume one event (called by Tracer::record, in emission order).
+  void consume(const TraceEvent& e);
+
+  Attribution& operator+=(const Attribution& o);
+
+  // --- counters -----------------------------------------------------------
+  uint64_t txBegins() const { return tx_begins_; }
+  uint64_t txCommits() const { return tx_commits_; }
+  uint64_t txAborts() const { return tx_aborts_total_; }
+  uint64_t abortsByReason(htm::AbortReason r) const {
+    return aborts_by_reason_[static_cast<int>(r)];
+  }
+  uint64_t capacityEvictions() const { return capacity_evictions_; }
+  uint64_t lockFallbacks() const { return lock_fallbacks_; }
+  // Maximal runs of >= 2 fallbacks each within kEpisodeGapCycles of the
+  // previous one: the lemming-effect signature (a convoy on the lock).
+  uint64_t fallbackEpisodes() const { return fallback_episodes_; }
+  uint64_t longestFallbackEpisode() const { return longest_episode_; }
+
+  // --- killer → victim matrix ---------------------------------------------
+  // matrix()[killer_socket][victim_socket] counts aborts whose killer is
+  // known; killer -1 (self-inflicted or hardware-internal: self-capacity,
+  // explicit, spurious) is accumulated in selfOrUnknownAborts().
+  const std::vector<std::vector<uint64_t>>& matrix() const { return matrix_; }
+  uint64_t crossSocketAborts() const { return cross_socket_aborts_; }
+  uint64_t intraSocketAborts() const { return intra_socket_aborts_; }
+  uint64_t selfOrUnknownAborts() const { return self_or_unknown_aborts_; }
+
+  // --- per-line heatmap ----------------------------------------------------
+  // Aborts attributed to each (stable) line id, and the top-K hottest lines
+  // (count desc, line id asc on ties).
+  const std::map<uint64_t, uint64_t>& lineAborts() const { return line_aborts_; }
+  std::vector<std::pair<uint64_t, uint64_t>> hotLines(size_t k) const;
+
+  // Deterministic JSON object (single line, no trailing newline).
+  std::string toJson(size_t top_k = 8) const;
+
+  // Gap between consecutive fallbacks that still counts as one episode.
+  static constexpr uint64_t kEpisodeGapCycles = 50000;
+
+ private:
+  void growMatrix(int socket);
+  void countAbort(int killer_socket, int victim_socket);
+
+  uint64_t tx_begins_ = 0;
+  uint64_t tx_commits_ = 0;
+  uint64_t tx_aborts_total_ = 0;
+  uint64_t aborts_by_reason_[htm::kAbortReasonCount] = {};
+  uint64_t capacity_evictions_ = 0;
+
+  std::vector<std::vector<uint64_t>> matrix_;  // grown to max socket seen + 1
+  uint64_t cross_socket_aborts_ = 0;
+  uint64_t intra_socket_aborts_ = 0;
+  uint64_t self_or_unknown_aborts_ = 0;
+
+  std::map<uint64_t, uint64_t> line_aborts_;
+
+  uint64_t lock_fallbacks_ = 0;
+  uint64_t fallback_episodes_ = 0;
+  uint64_t longest_episode_ = 0;
+  uint64_t last_fallback_clock_ = 0;
+  uint64_t current_episode_len_ = 0;
+};
+
+}  // namespace natle::obs

@@ -1,0 +1,93 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "workload/json.hpp"
+
+namespace natle::obs {
+
+const char* toString(EventKind k) {
+  switch (k) {
+    case EventKind::kTxBegin: return "tx_begin";
+    case EventKind::kTxCommit: return "tx_commit";
+    case EventKind::kTxAbort: return "tx_abort";
+    case EventKind::kLockFallback: return "lock_fallback";
+    case EventKind::kCapacityEvict: return "capacity_evict";
+  }
+  return "?";
+}
+
+void Tracer::record(TraceEvent e) {
+  e.seq = n_events_++;
+  attribution_.consume(e);
+  if (!keep_events_) return;
+  const size_t idx = e.tid >= 0 ? static_cast<size_t>(e.tid) : 0;
+  if (bufs_.size() <= idx) bufs_.resize(idx + 1);
+  ThreadBuf& b = bufs_[idx];
+  if (ring_capacity_ > 0 && b.events.size() >= ring_capacity_) {
+    b.events[b.head] = e;
+    b.head = (b.head + 1) % ring_capacity_;
+    n_dropped_++;
+  } else {
+    b.events.push_back(e);
+  }
+}
+
+void appendJson(std::string& out, const TraceEvent& e) {
+  workload::JsonWriter w;
+  w.beginObject();
+  w.key("t").value(e.clock);
+  w.key("seq").value(e.seq);
+  w.key("kind").value(toString(e.kind));
+  w.key("tid").value(static_cast<int64_t>(e.tid));
+  w.key("socket").value(static_cast<int64_t>(e.socket));
+  switch (e.kind) {
+    case EventKind::kTxBegin:
+      w.key("attempt").value(static_cast<uint64_t>(e.attempt));
+      break;
+    case EventKind::kTxCommit:
+    case EventKind::kLockFallback:
+      break;
+    case EventKind::kTxAbort:
+      w.key("reason").value(htm::toString(e.reason));
+      w.key("may_retry").value(e.may_retry);
+      w.key("killer_tid").value(static_cast<int64_t>(e.killer_tid));
+      w.key("killer_socket").value(static_cast<int64_t>(e.killer_socket));
+      w.key("line").value(e.line);
+      w.key("attempt").value(static_cast<uint64_t>(e.attempt));
+      break;
+    case EventKind::kCapacityEvict:
+      w.key("victim_tid").value(static_cast<int64_t>(e.killer_tid));
+      w.key("line").value(e.line);
+      w.key("set").value(static_cast<uint64_t>(e.set));
+      w.key("way").value(static_cast<uint64_t>(e.way));
+      break;
+  }
+  w.endObject();
+  out += w.str();
+}
+
+std::string Tracer::dumpJsonl() const {
+  // Unwind each thread's ring into chronological order, then merge all
+  // threads back into global emission order by seq.
+  std::vector<const TraceEvent*> merged;
+  merged.reserve(static_cast<size_t>(n_events_ - n_dropped_));
+  for (const ThreadBuf& b : bufs_) {
+    for (size_t i = 0; i < b.events.size(); ++i) {
+      merged.push_back(&b.events[(b.head + i) % b.events.size()]);
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEvent* a, const TraceEvent* b) {
+              return a->seq < b->seq;
+            });
+  std::string out;
+  out.reserve(merged.size() * 96);
+  for (const TraceEvent* e : merged) {
+    appendJson(out, *e);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace natle::obs

@@ -1,0 +1,92 @@
+// Transaction event tracing: the observability layer behind abort
+// attribution (who killed whom, on which line, from which socket).
+//
+// The simulator's discrete-event core executes actions in nondecreasing
+// simulated time, so a single Tracer attached to an Env observes a globally
+// time-ordered event stream with zero synchronization. Recording is strictly
+// observational: it charges no cycles and consumes no randomness, so a
+// traced run produces byte-identical simulation results to an untraced one.
+//
+// Cost model: when no Tracer is attached (the default) every emission site
+// is one pointer test. When attached, aggregation is streaming (constant
+// memory via Attribution); raw event retention is opt-in and per-thread,
+// with an optional ring cap for long runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "htm/abort.hpp"
+#include "obs/attribution.hpp"
+
+namespace natle::obs {
+
+enum class EventKind : uint8_t {
+  kTxBegin,        // transaction attempt started
+  kTxCommit,       // transaction retired
+  kTxAbort,        // transaction rolled back (see reason/killer fields)
+  kLockFallback,   // elision gave up; critical section ran under the lock
+  kCapacityEvict,  // a transactional L1 line was displaced (set/way recorded)
+};
+
+const char* toString(EventKind k);
+
+// One structured trace event. Line identifiers are the allocator's *stable*
+// ids (chunk ordinal + offset), never raw addresses, so dumps are
+// byte-identical across processes despite ASLR.
+struct TraceEvent {
+  uint64_t clock = 0;  // simulated cycles at emission
+  uint64_t seq = 0;    // global emission index (assigned by Tracer::record)
+  EventKind kind = EventKind::kTxBegin;
+  htm::AbortReason reason = htm::AbortReason::kNone;  // kTxAbort only
+  bool may_retry = false;                             // kTxAbort only
+  int16_t tid = -1;    // the thread the event happened to (victim on abort)
+  int8_t socket = -1;
+  // The "other party": for kTxAbort the aborting thread (-1 = self-inflicted
+  // or hardware-internal); for kCapacityEvict the *victim* whose line the
+  // thread in `tid` displaced.
+  int16_t killer_tid = -1;
+  int8_t killer_socket = -1;
+  uint64_t line = 0;     // stable line id of the conflicting/evicted line
+  uint16_t attempt = 0;  // attempt number within the critical-section sequence
+  uint16_t set = 0;      // kCapacityEvict: L1 set index
+  uint8_t way = 0;       // kCapacityEvict: way within the set
+};
+
+class Tracer {
+ public:
+  // `keep_events` retains the raw stream (per-thread append buffers) for
+  // dumpJsonl; aggregation into attribution() always happens. When
+  // `ring_capacity` > 0 each thread keeps only its most recent events.
+  explicit Tracer(bool keep_events = false, size_t ring_capacity = 0)
+      : keep_events_(keep_events), ring_capacity_(ring_capacity) {}
+
+  void record(TraceEvent e);
+
+  const Attribution& attribution() const { return attribution_; }
+
+  // Retained events merged across threads back into emission (seq) order,
+  // one JSON object per line. Empty when keep_events is false.
+  std::string dumpJsonl() const;
+
+  uint64_t eventCount() const { return n_events_; }
+  uint64_t droppedCount() const { return n_dropped_; }
+
+ private:
+  struct ThreadBuf {
+    std::vector<TraceEvent> events;
+    size_t head = 0;  // ring start once the capacity wrapped
+  };
+
+  bool keep_events_;
+  size_t ring_capacity_;
+  uint64_t n_events_ = 0;
+  uint64_t n_dropped_ = 0;
+  std::vector<ThreadBuf> bufs_;  // indexed by tid
+  Attribution attribution_;
+};
+
+void appendJson(std::string& out, const TraceEvent& e);
+
+}  // namespace natle::obs

@@ -7,12 +7,30 @@
 #include <cstdlib>
 #include <cstring>
 
+#if defined(__SANITIZE_ADDRESS__)
+#define NATLE_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define NATLE_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef NATLE_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 extern "C" void natle_fiber_switch(void** save_sp, void* load_sp);
 extern "C" void natle_fiber_trampoline();
 
 namespace natle::sim {
 
 void fiberEntry(Fiber* f) {
+#ifdef NATLE_ASAN_FIBERS
+  // Complete the switch begun in resume(): record the resumer's stack bounds
+  // so yield() can announce the switch back.
+  __sanitizer_finish_switch_fiber(nullptr, &f->asan_return_stack_,
+                                  &f->asan_return_size_);
+#endif
   f->fn_();
   f->finished_ = true;
   f->yield();
@@ -44,6 +62,8 @@ Fiber::Fiber(std::function<void()> fn, size_t stack_bytes) : fn_(std::move(fn)) 
     std::abort();
   }
   stack_base_ = map;
+  stack_lo_ = static_cast<char*>(map) + page;
+  stack_sz_ = map_bytes_ - page;
 
   // Fabricate the frame natle_fiber_switch pops on first resume:
   // [r15=this][r14][r13][r12][rbx][rbp][ret=trampoline], top of stack last.
@@ -62,11 +82,28 @@ Fiber::~Fiber() {
 }
 
 void Fiber::resume() {
+#ifdef NATLE_ASAN_FIBERS
+  void* fake = nullptr;
+  __sanitizer_start_switch_fiber(&fake, stack_lo_, stack_sz_);
+#endif
   natle_fiber_switch(&return_sp_, sp_);
+#ifdef NATLE_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
 }
 
 void Fiber::yield() {
+#ifdef NATLE_ASAN_FIBERS
+  // A finished fiber never runs again: pass nullptr so ASan releases its
+  // fake stack instead of saving it.
+  __sanitizer_start_switch_fiber(finished_ ? nullptr : &asan_fake_,
+                                 asan_return_stack_, asan_return_size_);
+#endif
   natle_fiber_switch(&sp_, return_sp_);
+#ifdef NATLE_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(asan_fake_, &asan_return_stack_,
+                                  &asan_return_size_);
+#endif
 }
 
 }  // namespace natle::sim

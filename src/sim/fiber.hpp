@@ -41,6 +41,17 @@ class Fiber {
   size_t map_bytes_ = 0;
   std::function<void()> fn_;
   bool finished_ = false;
+
+  // AddressSanitizer fiber-switch bookkeeping: ASan tracks the current stack
+  // bounds and a per-fiber fake stack, and must be told about every manual
+  // stack switch (__sanitizer_start/finish_switch_fiber), or it reports
+  // false stack-use-after-return/overflow errors. Unused (but kept, for a
+  // stable layout) in non-sanitized builds.
+  void* stack_lo_ = nullptr;  // usable stack bottom (above the guard page)
+  size_t stack_sz_ = 0;
+  void* asan_fake_ = nullptr;              // fiber's saved fake stack
+  const void* asan_return_stack_ = nullptr;  // resumer's stack bounds,
+  size_t asan_return_size_ = 0;              // captured on fiber entry
 };
 
 }  // namespace natle::sim

@@ -109,6 +109,48 @@ class NatleLock {
   int numModes() const { return num_modes_; }
   uint64_t cycleLen() const { return cycle_len_; }
 
+  struct ModeDecision {
+    int fastest;
+    int alternate;
+    double slice;
+  };
+
+  // Figure 11's decision rule on a profiling summary: `acqs[m]` holds the
+  // acquisitions measured in mode m (last mode = all sockets admitted).
+  // Pure function, extracted for direct testing.
+  static ModeDecision decideModes(const std::vector<int64_t>& acqs,
+                                  uint64_t min_acquisitions) {
+    const int num_modes = static_cast<int>(acqs.size());
+    int64_t total = 0;
+    int fastest = 0;
+    int alternate = 0;
+    for (int m = 0; m < num_modes; ++m) {
+      total += acqs[m];
+      if (acqs[m] > acqs[fastest]) fastest = m;
+    }
+    for (int m = 0; m < num_modes; ++m) {
+      if (m != fastest && (alternate == fastest || acqs[m] > acqs[alternate])) {
+        alternate = m;
+      }
+    }
+    if (total < static_cast<int64_t>(min_acquisitions) ||
+        fastest == num_modes - 1) {
+      // Warm-up threshold, or all-sockets is fastest: no throttling.
+      return ModeDecision{num_modes - 1, num_modes - 1, 1.0};
+    }
+    // The quantum is split between the fastest and the alternate mode, so
+    // the denominator must be the *alternate's* measured acquisitions. (A
+    // hard-coded `1 - fastest` "other socket" is only correct on the paper's
+    // two-socket machine; with more sockets it pointed at a nonexistent or
+    // wrong mode and silently degraded the slice to 1.0, starving the
+    // alternate mode of its share of the quantum.)
+    const int64_t denom = acqs[fastest] + acqs[alternate];
+    const double slice = denom > 0 ? static_cast<double>(acqs[fastest]) /
+                                         static_cast<double>(denom)
+                                   : 1.0;
+    return ModeDecision{fastest, alternate, slice};
+  }
+
  private:
   struct Shared {
     uint64_t last_prof_start;  // biased epoch stamp, low 2 bits: stage S(x)
@@ -182,35 +224,10 @@ class NatleLock {
         acqs[m] += ctx.load(*acqCell(tid, m));
       }
     }
-    int64_t total = 0;
-    int fastest = 0;
-    int alternate = 0;
-    for (int m = 0; m < num_modes_; ++m) {
-      total += acqs[m];
-      if (acqs[m] > acqs[fastest]) fastest = m;
-    }
-    for (int m = 0; m < num_modes_; ++m) {
-      if (m != fastest && (alternate == fastest || acqs[m] > acqs[alternate])) {
-        alternate = m;
-      }
-    }
-    double slice;
-    if (total < static_cast<int64_t>(cfg_.min_acquisitions) ||
-        fastest == num_modes_ - 1) {
-      // Warm-up threshold, or both-sockets is fastest: no throttling.
-      fastest = num_modes_ - 1;
-      alternate = num_modes_ - 1;
-      slice = 1.0;
-    } else {
-      const int other_socket = 1 - fastest;  // two-socket machines (paper)
-      const int64_t denom = acqs[fastest] + (other_socket >= 0 &&
-                                             other_socket < num_modes_
-                                                 ? acqs[other_socket]
-                                                 : 0);
-      slice = denom > 0 ? static_cast<double>(acqs[fastest]) /
-                              static_cast<double>(denom)
-                        : 1.0;
-    }
+    const ModeDecision md = decideModes(acqs, cfg_.min_acquisitions);
+    const int fastest = md.fastest;
+    const int alternate = md.alternate;
+    const double slice = md.slice;
     if (debug_modes) {
       std::fprintf(stderr, "[natle %p t=%llu] acqs:", (void*)this,
                    (unsigned long long)ctx.nowCycles());

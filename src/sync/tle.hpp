@@ -19,6 +19,7 @@
 #include <cstdio>
 
 #include "htm/env.hpp"
+#include "obs/trace.hpp"
 #include "sync/tatas.hpp"
 
 namespace natle::sync {
@@ -86,6 +87,15 @@ class TleLock {
     }
     // Fallback: take the lock for real.
     lock_.lock(ctx);
+    if (obs::Tracer* tr = ctx.env().tracer();
+        tr != nullptr && ctx.nowCycles() >= ctx.env().statsStart()) {
+      obs::TraceEvent e;
+      e.clock = ctx.nowCycles();
+      e.kind = obs::EventKind::kLockFallback;
+      e.tid = static_cast<int16_t>(ctx.tid());
+      e.socket = static_cast<int8_t>(ctx.socket());
+      tr->record(e);
+    }
 #ifdef NATLE_DEBUG_EXCLUSIVE_FALLBACK
     ctx.env().debugDumpInFlight(lock_.lineId());
     ++dbg_fallback_active;

@@ -16,6 +16,7 @@ namespace natle::workload {
 struct BenchOptions {
   bool full = false;
   bool help = false;
+  bool trace = false;  // attach the tracing subsystem; attribution in JSON
   double time_scale = 1.0;
 
   // Validated NATLE_SIM_SCALE parsing: the whole string must be a finite
@@ -40,6 +41,8 @@ struct BenchOptions {
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--full") == 0) {
         o.full = true;
+      } else if (std::strcmp(argv[i], "--trace") == 0) {
+        o.trace = true;
       } else if (std::strcmp(argv[i], "--help") == 0 ||
                  std::strcmp(argv[i], "-h") == 0) {
         o.help = true;
@@ -65,8 +68,12 @@ struct BenchOptions {
 
   static void printUsage(const char* prog, std::FILE* to) {
     std::fprintf(to,
-                 "usage: %s [--full] [--help]\n"
+                 "usage: %s [--full] [--trace] [--help]\n"
                  "  --full   denser thread axis, longer trials, 3 trials/point\n"
+                 "  --trace  record transaction events; abort attribution "
+                 "(killer matrix,\n"
+                 "           hot lines, fallback episodes) is attached to JSON "
+                 "records\n"
                  "environment:\n"
                  "  NATLE_SIM_SCALE=<float>  scale simulated trial length "
                  "(default 1.0)\n",

@@ -7,6 +7,7 @@
 #include "ds/bst_leaf.hpp"
 #include "ds/skiplist.hpp"
 #include "htm/env.hpp"
+#include "obs/trace.hpp"
 
 namespace natle::workload {
 
@@ -104,6 +105,14 @@ SetBenchResult runSetBench(const SetBenchConfig& cfg) {
     const uint64_t t_end = mc.msToCycles(cfg.warmup_ms + cfg.measure_ms);
     env.setStatsStart(mc.msToCycles(cfg.warmup_ms));
 
+    // One tracer per trial so fallback episodes never span trial boundaries;
+    // attribution is summed across trials below.
+    std::unique_ptr<obs::Tracer> tracer;
+    if (cfg.trace) {
+      tracer = std::make_unique<obs::Tracer>(cfg.trace_raw);
+      env.setTracer(tracer.get());
+    }
+
     for (int i = 0; i < cfg.nthreads; ++i) {
       const sim::HwSlot slot = sim::placeThread(mc, cfg.pin, i);
       const bool pinned = cfg.pin != sim::PinPolicy::kUnpinned;
@@ -159,6 +168,11 @@ SetBenchResult runSetBench(const SetBenchConfig& cfg) {
 
     const htm::TxStats t = env.totals();
     agg.stats += t;
+    if (tracer != nullptr) {
+      agg.has_attribution = true;
+      agg.attribution += tracer->attribution();
+      if (cfg.trace_raw) agg.raw_trace += tracer->dumpJsonl();
+    }
     mops_sum += static_cast<double>(t.ops) /
                 (cfg.measure_ms * 1e-3) / 1e6;
     if (natle != nullptr) {

@@ -6,9 +6,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "htm/stats.hpp"
+#include "obs/attribution.hpp"
 #include "sim/config.hpp"
 #include "sim/topology.hpp"
 #include "sync/natle.hpp"
@@ -48,6 +50,10 @@ struct SetBenchConfig {
   // overhead); roughly 60ns at 2.3 GHz, matching a real benchmark loop.
   uint64_t op_overhead_cycles = 140;
   uint64_t seed = 1;
+  // Observability (not serialized into config JSON: tracing is strictly
+  // observational and never changes simulation results).
+  bool trace = false;      // aggregate events into SetBenchResult.attribution
+  bool trace_raw = false;  // additionally retain the raw stream (JSONL dump)
 };
 
 struct SetBenchResult {
@@ -57,6 +63,10 @@ struct SetBenchResult {
   double conflict_abort_fraction = 0;  // conflict aborts / all aborts
   double hintclear_commit_pct = 0;     // Figure 2(b) statistic
   std::vector<sync::NatleCycleDecision> natle_history;
+  // Present when cfg.trace was set: event aggregation summed across trials.
+  bool has_attribution = false;
+  obs::Attribution attribution;
+  std::string raw_trace;  // JSONL event stream (cfg.trace_raw only)
 };
 
 SetBenchResult runSetBench(const SetBenchConfig& cfg);

@@ -17,7 +17,7 @@ namespace {
 // A tiny real experiment: enough simulation to catch scheduling-dependent
 // nondeterminism, small enough to run in a unit test.
 void planTiny(const workload::BenchOptions& opt, Plan& plan) {
-  auto sweep = std::make_shared<SetSweep>(2);
+  auto sweep = std::make_shared<SetSweep>(opt, 2);  // 2 trials; opt.trace honoured
   workload::SetBenchConfig cfg;
   cfg.key_range = 256;
   cfg.measure_ms = 0.3 * opt.time_scale;
@@ -139,4 +139,70 @@ TEST(Runner, ParallelRunIsByteIdentical) {
   EXPECT_EQ(stripWallMs(a.json), stripWallMs(b.json));
   // wall_ms really is the only difference.
   EXPECT_NE(a.json, stripWallMs(a.json));
+}
+
+TEST(Runner, TracedRunIsByteIdenticalAcrossPoolSizes) {
+  // The trace pipeline (per-trial Tracer, streaming attribution, JSON
+  // splice) must not reintroduce scheduling-dependent output: a traced
+  // experiment stays byte-identical whatever the worker-pool size.
+  const Experiment* e = Registry::instance().find("exp_test_tiny");
+  ASSERT_NE(e, nullptr);
+  workload::BenchOptions opt;
+  opt.trace = true;
+  RunnerOptions serial;
+  serial.jobs = 1;
+  RunnerOptions parallel;
+  parallel.jobs = 4;
+  const ExperimentOutput a = runExperiment(*e, opt, serial);
+  const ExperimentOutput b = runExperiment(*e, opt, parallel);
+  EXPECT_EQ(a.csv, b.csv);
+  EXPECT_EQ(stripWallMs(a.json), stripWallMs(b.json));
+  // Every point record carries an attribution object.
+  size_t records = 0, attributed = 0;
+  for (size_t pos = 0; (pos = a.json.find("\"series\":", pos)) != std::string::npos; ++pos) ++records;
+  for (size_t pos = 0; (pos = a.json.find("\"attribution\":", pos)) != std::string::npos; ++pos) ++attributed;
+  EXPECT_EQ(records, 6u);
+  EXPECT_EQ(attributed, 6u);
+  EXPECT_NE(a.json.find("\"killer_matrix\""), std::string::npos);
+}
+
+TEST(Runner, TracingDoesNotChangeUntracedOutputs) {
+  // --trace must be purely additive: the CSV is byte-identical and the JSON
+  // differs only by the attribution objects (config records included — the
+  // trace flags are deliberately not serialized).
+  const Experiment* e = Registry::instance().find("exp_test_tiny");
+  ASSERT_NE(e, nullptr);
+  workload::BenchOptions opt;
+  const ExperimentOutput plain = runExperiment(*e, opt, RunnerOptions{});
+  opt.trace = true;
+  const ExperimentOutput traced = runExperiment(*e, opt, RunnerOptions{});
+  EXPECT_EQ(plain.csv, traced.csv);
+  static const std::regex kAttr(",\"attribution\":\\{[^\n]*?\\},\"wall_ms\"");
+  const std::string scrubbed =
+      std::regex_replace(traced.json, kAttr, ",\"wall_ms\"");
+  EXPECT_NE(traced.json, scrubbed);  // attribution was present
+  EXPECT_EQ(stripWallMs(plain.json), stripWallMs(scrubbed));
+}
+
+TEST(Sweep, DumpTraceIsRepeatableAndStructured) {
+  // `natle-bench trace` re-runs a job's exact config with raw retention:
+  // the dump must be deterministic call-to-call and one JSON object per line.
+  Plan plan;
+  workload::BenchOptions opt;
+  SetSweep sweep(opt, 1);
+  workload::SetBenchConfig cfg;
+  cfg.key_range = 256;
+  cfg.nthreads = 4;
+  cfg.warmup_ms = 0.1;
+  cfg.measure_ms = 0.3;
+  sweep.point(plan, "s", 4, cfg);
+  ASSERT_EQ(plan.jobs.size(), 1u);
+  ASSERT_TRUE(plan.jobs[0].dump_trace != nullptr);
+  const std::string d1 = plan.jobs[0].dump_trace();
+  const std::string d2 = plan.jobs[0].dump_trace();
+  ASSERT_FALSE(d1.empty());
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(d1.front(), '{');
+  EXPECT_EQ(d1.back(), '\n');
+  EXPECT_NE(d1.find("\"kind\":\"tx_begin\""), std::string::npos);
 }

@@ -168,6 +168,40 @@ TEST(Htm, ReaderAbortedByWriter) {
   EXPECT_TRUE(reader_aborted);
 }
 
+TEST(Htm, ZombieGuardDeliversPendingAbort) {
+  // An abort can land while the victim is parked outside any access (here:
+  // inside work()). requireConsistent must deliver that pending abort
+  // (longjmp to the landing pad) rather than treat the failed check as
+  // corruption and kill the process.
+  Env env(LargeMachine());
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *x = 1;
+  bool aborted = false;
+  runWorkers(
+      env,
+      [&](ThreadCtx& ctx) {
+        unsigned s;
+        NATLE_TX_BEGIN(ctx, s);
+        if (s == kTxStarted) {
+          (void)ctx.load(*x);
+          ctx.requireConsistent(true);  // in good standing: a no-op
+          ctx.work(100000);             // B's conflicting store lands here
+          ctx.requireConsistent(false);  // zombie now: must longjmp
+          ADD_FAILURE() << "guard did not deliver the pending abort";
+          ctx.txCommit();
+          return;
+        }
+        aborted = true;
+        EXPECT_EQ(decodeStatus(s).reason, AbortReason::kConflict);
+      },
+      [&](ThreadCtx& ctx) {
+        ctx.work(5000);
+        ctx.store(*x, int64_t{2});
+      });
+  EXPECT_TRUE(aborted);
+  EXPECT_EQ(*x, 2);
+}
+
 TEST(Htm, ReadersDoNotAbortEachOther) {
   Env env(LargeMachine());
   auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
@@ -283,6 +317,121 @@ TEST(Htm, SetupModeIsFree) {
   EXPECT_EQ(sc.load(*x), 11);
   EXPECT_EQ(sc.nowCycles(), 0u);
   EXPECT_EQ(env.directory().size(), 0u);  // setup does not touch coherence
+}
+
+TEST(Htm, SiblingReadDoesNotStripCapacityPin) {
+  // Regression for the L1 single-owner-slot bug: threads 0 and 18 are the
+  // two hyperthreads of core 0 (fill-socket-first) and share one L1 filter.
+  // A tx-reads line L; B tx-reads the same L (the L1-hit tag path), commits,
+  // then fills L's set with its own transactional footprint so one more line
+  // forces an eviction. With a single owner slot B's tag overwrote A's pin,
+  // so the eviction reclaimed L silently and A committed despite its read
+  // set no longer being resident. With per-sibling slots A's pin survives
+  // and the eviction delivers the capacity abort the hardware would.
+  sim::MachineConfig cfg = LargeMachine();
+  cfg.spurious_abort_per_cycle = 0;  // isolate the capacity mechanism
+  Env env(cfg);
+  const uint32_t ways = cfg.l1_ways;
+  const uint32_t sets = cfg.l1_sets;
+  // One line for A (shared with B) plus `ways` filler lines, all in set 0.
+  std::vector<int64_t*> lines;
+  while (lines.size() < ways + 1) {
+    void* p = env.allocShared(64);
+    if (mem::lineOf(p) % sets == 0) lines.push_back(static_cast<int64_t*>(p));
+  }
+  int64_t* shared = lines[0];
+  bool a_committed = false;
+  AbortReason a_reason = AbortReason::kNone;
+  int b_commits = 0;
+  env.spawnWorker(
+      [&](ThreadCtx& ctx) {
+        unsigned s;
+        NATLE_TX_BEGIN(ctx, s);
+        if (s == kTxStarted) {
+          (void)ctx.load(*shared);
+          ctx.work(300000);  // stay in flight while B runs both transactions
+          ctx.txCommit();
+          a_committed = true;
+          return;
+        }
+        a_reason = decodeStatus(s).reason;
+      },
+      sim::placeThread(cfg, sim::PinPolicy::kFillSocketFirst, 0));
+  env.spawnWorker(
+      [&](ThreadCtx& ctx) {
+        ctx.work(5000);  // let A pin the shared line first
+        unsigned s;
+        NATLE_TX_BEGIN(ctx, s);
+        if (s == kTxStarted) {
+          (void)ctx.load(*shared);  // L1 hit: tag, must not strip A's pin
+          ctx.txCommit();
+          ++b_commits;
+        }
+        unsigned s2;
+        NATLE_TX_BEGIN(ctx, s2);
+        if (s2 == kTxStarted) {
+          // ways distinct set-0 lines: the last insert finds every way
+          // pinned and must evict the shared line — A's, not B's own.
+          for (uint32_t i = 1; i <= ways; ++i) (void)ctx.load(*lines[i]);
+          ctx.txCommit();
+          ++b_commits;
+        }
+      },
+      sim::placeThread(cfg, sim::PinPolicy::kFillSocketFirst, 18));
+  env.run();
+  EXPECT_FALSE(a_committed);
+  EXPECT_EQ(a_reason, AbortReason::kCapacity);
+  EXPECT_EQ(b_commits, 2);
+}
+
+TEST(Htm, SelfCapacityAbortMidWriteLeavesConsistentState) {
+  // A self-capacity abort fires from *inside* accessWrite (victim == the
+  // running transaction) after part of the write set is already installed.
+  // Directory state, the undo log and transactional allocations must all
+  // unwind; debug auditing cross-checks the directory on every subsequent
+  // access and aborts the process on any stale entry.
+  sim::MachineConfig cfg = LargeMachine();
+  cfg.spurious_abort_per_cycle = 0;
+  Env env(cfg);
+  env.setDebugAudit(true);
+  const uint32_t ways = cfg.l1_ways;
+  const uint32_t sets = cfg.l1_sets;
+  std::vector<int64_t*> blocks;
+  while (blocks.size() < ways + 2) {
+    void* p = env.allocShared(64);
+    if (mem::lineOf(p) % sets == 0) blocks.push_back(static_cast<int64_t*>(p));
+  }
+  for (auto* b : blocks) *b = 1;
+  const size_t live0 = env.allocator().liveBytes();
+  bool capacity = false;
+  runWorkers(env, [&](ThreadCtx& ctx) {
+    unsigned s;
+    NATLE_TX_BEGIN(ctx, s);
+    if (s == kTxStarted) {
+      ctx.alloc(64);  // must be rolled back with the rest of the footprint
+      for (auto* b : blocks) ctx.store(*b, int64_t{2});
+      ctx.txCommit();
+      FAIL() << "overflowing transaction committed";
+    }
+    capacity = decodeStatus(s).reason == AbortReason::kCapacity;
+    // Every store must have been undone before we got here.
+    for (auto* b : blocks) EXPECT_EQ(ctx.load(*b), 1);
+    // The lines the aborted attempt touched are fully released: a fitting
+    // transaction over the same set runs to commit.
+    unsigned s2;
+    NATLE_TX_BEGIN(ctx, s2);
+    if (s2 == kTxStarted) {
+      for (uint32_t i = 0; i + 2 < ways; ++i) ctx.store(*blocks[i], int64_t{3});
+      ctx.txCommit();
+    } else {
+      FAIL() << "retry aborted: " << toString(decodeStatus(s2).reason);
+    }
+  });
+  EXPECT_TRUE(capacity);
+  EXPECT_EQ(env.allocator().liveBytes(), live0);  // tx alloc rolled back
+  for (uint32_t i = 0; i < ways + 2; ++i) {
+    EXPECT_EQ(*blocks[i], i + 2 < ways ? 3 : 1);
+  }
 }
 
 TEST(Htm, StatsWindowExcludesWarmup) {

@@ -79,6 +79,75 @@ TEST(L1, CapacityAbortWhenSetFullOfTransactionalLines) {
   EXPECT_EQ(r2.capacity_victim, &mine);
 }
 
+TEST(L1, SiblingTagPreservesFirstOwnersPin) {
+  // Both hyperthreads hold the same line in their read sets: the second
+  // reader's tag must not strip the first reader's capacity pin. (A single
+  // owner slot silently lost the pin, so the first transaction could be
+  // evicted with no abort.)
+  Directory d;
+  L1Cache l1(1, 1);  // one way: any new insert must evict
+  TxBase a, b;
+  a.in_flight = b.in_flight = true;
+  a.seq = b.seq = 1;
+  l1.insert(1, &d.lookup(1, 0), &a);
+  L1Cache::Entry* e = l1.probe(1);
+  ASSERT_NE(e, nullptr);
+  l1.tag(e, &b);
+  EXPECT_TRUE(l1.ownedBy(e, &a));
+  EXPECT_TRUE(l1.ownedBy(e, &b));
+
+  // Evicting the line reports *both* owners as capacity victims.
+  auto r = l1.insert(2, &d.lookup(2, 0), nullptr);
+  EXPECT_EQ(r.capacity_victim, &a);
+  EXPECT_EQ(r.capacity_victim2, &b);
+  EXPECT_EQ(r.victim_line, 1u);
+  EXPECT_EQ(r.victim_set, 0u);
+}
+
+TEST(L1, SiblingPinSurvivesOwnTransactionEnd) {
+  // B tags the line after A, then B's transaction ends. A's pin must still
+  // protect the line: an insert under pressure reports A as the victim
+  // rather than silently reusing the way.
+  Directory d;
+  L1Cache l1(1, 1);
+  TxBase a, b;
+  a.in_flight = b.in_flight = true;
+  a.seq = b.seq = 1;
+  l1.insert(1, &d.lookup(1, 0), &a);
+  l1.tag(l1.probe(1), &b);
+  b.in_flight = false;  // B committed; its pin is dead, A's is not
+  auto r = l1.insert(2, &d.lookup(2, 0), nullptr);
+  EXPECT_EQ(r.capacity_victim, &a);
+  EXPECT_EQ(r.capacity_victim2, nullptr);
+}
+
+TEST(L1, PlainAccessNeverStripsLivePin) {
+  Directory d;
+  L1Cache l1(1, 1);
+  TxBase a;
+  a.in_flight = true;
+  a.seq = 1;
+  l1.insert(1, &d.lookup(1, 0), &a);
+  l1.tag(l1.probe(1), nullptr);  // sibling's plain re-read
+  EXPECT_TRUE(l1.ownedBy(l1.probe(1), &a));
+}
+
+TEST(L1, SameLineReinsertKeepsSiblingOwner) {
+  // A transactional miss on a line the sibling already pinned takes the
+  // keep-and-tag path, not a destructive reinstall.
+  Directory d;
+  L1Cache l1(1, 2);
+  TxBase a, b;
+  a.in_flight = b.in_flight = true;
+  a.seq = b.seq = 1;
+  l1.insert(1, &d.lookup(1, 0), &a);
+  l1.insert(1, &d.lookup(1, 0), &b);
+  L1Cache::Entry* e = l1.probe(1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(l1.ownedBy(e, &a));
+  EXPECT_TRUE(l1.ownedBy(e, &b));
+}
+
 TEST(L1, DeadTransactionLinesAreEvictable) {
   Directory d;
   L1Cache l1(1, 2);
@@ -123,4 +192,30 @@ TEST(Alloc, ReusesFreedBlocks) {
 TEST(Alloc, HomeOfUnknownLineIsZero) {
   SimAllocator a(true);
   EXPECT_EQ(a.homeOf(0xdeadbeef), 0);
+}
+
+TEST(Alloc, StableLineIdsAreAddressIndependent) {
+  // Stable ids encode (chunk ordinal, offset within chunk): they depend only
+  // on allocation order, never on where mmap placed the chunk, so trace
+  // dumps compare byte-identical across processes despite ASLR.
+  SimAllocator a(true);
+  void* p = a.alloc(64, 0);
+  void* q = a.alloc(64, 0);
+  const uint64_t idp = a.stableLineId(lineOf(p));
+  const uint64_t idq = a.stableLineId(lineOf(q));
+  ASSERT_NE(idp, 0u);
+  ASSERT_NE(idq, 0u);
+  EXPECT_NE(idp, idq);
+  // Same chunk: ids share the ordinal half and differ by the line offset.
+  EXPECT_EQ(idp >> 32, idq >> 32);
+  EXPECT_EQ(idq - idp, lineOf(q) - lineOf(p));
+
+  // A second allocator with the same allocation sequence produces the same
+  // ids even though its chunks live at different addresses.
+  SimAllocator b(true);
+  void* p2 = b.alloc(64, 0);
+  EXPECT_EQ(b.stableLineId(lineOf(p2)), idp);
+
+  // Lines the allocator does not own have no stable id.
+  EXPECT_EQ(a.stableLineId(0xdeadbeef), 0u);
 }

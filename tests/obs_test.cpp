@@ -1,0 +1,330 @@
+// Tests for the observability layer: Attribution aggregation (killer→victim
+// matrix, per-line heatmap, fallback episodes), Tracer retention and seq-order
+// merging, end-to-end attribution through Env, and the determinism contract —
+// tracing never perturbs simulation results and identical runs produce
+// byte-identical dumps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "htm/env.hpp"
+#include "obs/trace.hpp"
+#include "workload/setbench.hpp"
+
+using namespace natle;
+using namespace natle::obs;
+using htm::AbortReason;
+
+namespace {
+
+TraceEvent mkBegin(uint64_t clock, int tid, int socket) {
+  TraceEvent e;
+  e.clock = clock;
+  e.kind = EventKind::kTxBegin;
+  e.tid = static_cast<int16_t>(tid);
+  e.socket = static_cast<int8_t>(socket);
+  e.attempt = 1;
+  return e;
+}
+
+TraceEvent mkCommit(uint64_t clock, int tid, int socket) {
+  TraceEvent e;
+  e.clock = clock;
+  e.kind = EventKind::kTxCommit;
+  e.tid = static_cast<int16_t>(tid);
+  e.socket = static_cast<int8_t>(socket);
+  return e;
+}
+
+TraceEvent mkAbort(uint64_t clock, int tid, int socket, int killer_tid,
+                   int killer_socket, AbortReason r, uint64_t line) {
+  TraceEvent e;
+  e.clock = clock;
+  e.kind = EventKind::kTxAbort;
+  e.reason = r;
+  e.tid = static_cast<int16_t>(tid);
+  e.socket = static_cast<int8_t>(socket);
+  e.killer_tid = static_cast<int16_t>(killer_tid);
+  e.killer_socket = static_cast<int8_t>(killer_socket);
+  e.line = line;
+  return e;
+}
+
+TraceEvent mkFallback(uint64_t clock, int tid, int socket) {
+  TraceEvent e;
+  e.clock = clock;
+  e.kind = EventKind::kLockFallback;
+  e.tid = static_cast<int16_t>(tid);
+  e.socket = static_cast<int8_t>(socket);
+  return e;
+}
+
+}  // namespace
+
+TEST(Attribution, CountsAndMatrix) {
+  Attribution a;
+  a.consume(mkBegin(100, 0, 0));
+  a.consume(mkAbort(200, 0, 0, 40, 1, AbortReason::kConflict, 77));  // cross
+  a.consume(mkBegin(300, 0, 0));
+  a.consume(mkAbort(400, 0, 0, 1, 0, AbortReason::kConflict, 77));  // intra
+  a.consume(mkBegin(500, 0, 0));
+  a.consume(mkAbort(600, 0, 0, -1, -1, AbortReason::kCapacity, 99));  // self
+  a.consume(mkBegin(700, 0, 0));
+  a.consume(mkCommit(800, 0, 0));
+
+  EXPECT_EQ(a.txBegins(), 4u);
+  EXPECT_EQ(a.txCommits(), 1u);
+  EXPECT_EQ(a.txAborts(), 3u);
+  EXPECT_EQ(a.abortsByReason(AbortReason::kConflict), 2u);
+  EXPECT_EQ(a.abortsByReason(AbortReason::kCapacity), 1u);
+  EXPECT_EQ(a.crossSocketAborts(), 1u);
+  EXPECT_EQ(a.intraSocketAborts(), 1u);
+  EXPECT_EQ(a.selfOrUnknownAborts(), 1u);
+  ASSERT_EQ(a.matrix().size(), 2u);  // grown to max socket seen + 1
+  EXPECT_EQ(a.matrix()[1][0], 1u);   // socket-1 killer, socket-0 victim
+  EXPECT_EQ(a.matrix()[0][0], 1u);
+
+  // Per-line heatmap: line 77 twice, line 99 once; ties cannot arise here.
+  const auto hot = a.hotLines(8);
+  ASSERT_EQ(hot.size(), 2u);
+  EXPECT_EQ(hot[0].first, 77u);
+  EXPECT_EQ(hot[0].second, 2u);
+  EXPECT_EQ(hot[1].first, 99u);
+}
+
+TEST(Attribution, HotLinesTieBreaksTowardLowerLineId) {
+  Attribution a;
+  a.consume(mkAbort(1, 0, 0, 1, 0, AbortReason::kConflict, 500));
+  a.consume(mkAbort(2, 0, 0, 1, 0, AbortReason::kConflict, 300));
+  const auto hot = a.hotLines(8);
+  ASSERT_EQ(hot.size(), 2u);
+  EXPECT_EQ(hot[0].first, 300u);  // equal counts: lower id first
+  EXPECT_EQ(hot[1].first, 500u);
+  EXPECT_EQ(a.hotLines(1).size(), 1u);
+}
+
+TEST(Attribution, FallbackEpisodes) {
+  Attribution a;
+  // Three fallbacks within the gap: one episode of length 3.
+  a.consume(mkFallback(0, 0, 0));
+  a.consume(mkFallback(10000, 1, 0));
+  a.consume(mkFallback(20000, 2, 0));
+  // A gap larger than kEpisodeGapCycles ends the episode; the next two
+  // fallbacks form a second episode of length 2.
+  a.consume(mkFallback(200000, 0, 0));
+  a.consume(mkFallback(210000, 1, 0));
+  EXPECT_EQ(a.lockFallbacks(), 5u);
+  EXPECT_EQ(a.fallbackEpisodes(), 2u);
+  EXPECT_EQ(a.longestFallbackEpisode(), 3u);
+
+  // An isolated fallback (no neighbour within the gap) is not an episode.
+  Attribution b;
+  b.consume(mkFallback(0, 0, 0));
+  EXPECT_EQ(b.fallbackEpisodes(), 0u);
+}
+
+TEST(Attribution, MergeSumsEverything) {
+  Attribution a, b;
+  a.consume(mkBegin(1, 0, 0));
+  a.consume(mkAbort(2, 0, 0, 40, 1, AbortReason::kConflict, 7));
+  b.consume(mkBegin(1, 0, 0));
+  b.consume(mkAbort(2, 0, 0, 40, 1, AbortReason::kConflict, 7));
+  b.consume(mkCommit(3, 0, 0));
+  a += b;
+  EXPECT_EQ(a.txBegins(), 2u);
+  EXPECT_EQ(a.txCommits(), 1u);
+  EXPECT_EQ(a.crossSocketAborts(), 2u);
+  EXPECT_EQ(a.matrix()[1][0], 2u);
+  EXPECT_EQ(a.lineAborts().at(7), 2u);
+}
+
+TEST(Attribution, JsonIsDeterministicAndStructured) {
+  auto build = [] {
+    Attribution a;
+    a.consume(mkBegin(1, 0, 0));
+    a.consume(mkAbort(2, 0, 0, 40, 1, AbortReason::kConflict, 7));
+    a.consume(mkCommit(3, 0, 0));
+    return a.toJson();
+  };
+  const std::string j1 = build();
+  EXPECT_EQ(j1, build());
+  EXPECT_NE(j1.find("\"tx_begins\":1"), std::string::npos);
+  EXPECT_NE(j1.find("\"killer_matrix\""), std::string::npos);
+  EXPECT_NE(j1.find("\"cross_socket_aborts\":1"), std::string::npos);
+  EXPECT_NE(j1.find("\"hot_lines\""), std::string::npos);
+}
+
+TEST(Tracer, AggregatesWithoutRetentionByDefault) {
+  Tracer t;
+  t.record(mkBegin(1, 0, 0));
+  t.record(mkCommit(2, 0, 0));
+  EXPECT_EQ(t.eventCount(), 2u);
+  EXPECT_EQ(t.attribution().txCommits(), 1u);
+  EXPECT_TRUE(t.dumpJsonl().empty());  // keep_events was false
+}
+
+TEST(Tracer, DumpMergesThreadsInEmissionOrder) {
+  Tracer t(/*keep_events=*/true);
+  t.record(mkBegin(10, 1, 0));    // seq 0
+  t.record(mkBegin(20, 0, 0));    // seq 1
+  t.record(mkCommit(30, 1, 0));   // seq 2
+  t.record(mkCommit(40, 0, 0));   // seq 3
+  const std::string dump = t.dumpJsonl();
+  // One JSON object per line, in seq order despite per-thread buffering.
+  const size_t p0 = dump.find("\"seq\":0");
+  const size_t p1 = dump.find("\"seq\":1");
+  const size_t p2 = dump.find("\"seq\":2");
+  const size_t p3 = dump.find("\"seq\":3");
+  ASSERT_NE(p0, std::string::npos);
+  ASSERT_NE(p3, std::string::npos);
+  EXPECT_LT(p0, p1);
+  EXPECT_LT(p1, p2);
+  EXPECT_LT(p2, p3);
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 4);
+}
+
+TEST(Tracer, RingCapDropsOldestAndCounts) {
+  Tracer t(/*keep_events=*/true, /*ring_capacity=*/2);
+  t.record(mkBegin(1, 0, 0));
+  t.record(mkCommit(2, 0, 0));
+  t.record(mkBegin(3, 0, 0));
+  EXPECT_EQ(t.eventCount(), 3u);
+  EXPECT_EQ(t.droppedCount(), 1u);
+  const std::string dump = t.dumpJsonl();
+  EXPECT_EQ(dump.find("\"seq\":0"), std::string::npos);  // oldest dropped
+  EXPECT_NE(dump.find("\"seq\":1"), std::string::npos);
+  EXPECT_NE(dump.find("\"seq\":2"), std::string::npos);
+  // Aggregation saw everything regardless of the ring.
+  EXPECT_EQ(t.attribution().txBegins(), 2u);
+}
+
+namespace {
+
+// Victim transaction on socket 0 vs a plain writer placed on thread `killer`;
+// returns the tracer's attribution for the run and the victim line's stable
+// id through `line_out`.
+void runConflict(int killer_thread, Tracer& tracer, uint64_t* line_out) {
+  sim::MachineConfig cfg = sim::LargeMachine();
+  htm::Env env(cfg);
+  env.setTracer(&tracer);
+  auto* x = static_cast<int64_t*>(env.allocShared(sizeof(int64_t)));
+  *x = 1;
+  *line_out = env.allocator().stableLineId(mem::lineOf(x));
+  env.spawnWorker(
+      [&](htm::ThreadCtx& ctx) {
+        unsigned s;
+        NATLE_TX_BEGIN(ctx, s);
+        if (s == htm::kTxStarted) {
+          ctx.store(*x, int64_t{5});
+          ctx.work(100000);
+          ctx.txCommit();
+        }
+      },
+      sim::placeThread(cfg, sim::PinPolicy::kFillSocketFirst, 0));
+  env.spawnWorker(
+      [&](htm::ThreadCtx& ctx) {
+        ctx.work(5000);
+        ctx.store(*x, int64_t{2});
+      },
+      sim::placeThread(cfg, sim::PinPolicy::kFillSocketFirst, killer_thread));
+  env.run();
+}
+
+}  // namespace
+
+TEST(ObsEnv, IntraSocketConflictAttribution) {
+  Tracer tracer(/*keep_events=*/true);
+  uint64_t line = 0;
+  runConflict(/*killer_thread=*/1, tracer, &line);
+  const Attribution& a = tracer.attribution();
+  EXPECT_EQ(a.txBegins(), 1u);
+  EXPECT_EQ(a.abortsByReason(AbortReason::kConflict), 1u);
+  EXPECT_EQ(a.intraSocketAborts(), 1u);
+  EXPECT_EQ(a.crossSocketAborts(), 0u);
+  ASSERT_NE(line, 0u);
+  EXPECT_EQ(a.lineAborts().at(line), 1u);
+  const std::string dump = tracer.dumpJsonl();
+  EXPECT_NE(dump.find("\"kind\":\"tx_abort\""), std::string::npos);
+  EXPECT_NE(dump.find("\"killer_tid\":1"), std::string::npos);
+}
+
+TEST(ObsEnv, CrossSocketConflictAttribution) {
+  // Thread 40 lands on socket 1 under fill-socket-first (36 threads/socket).
+  Tracer tracer;
+  uint64_t line = 0;
+  runConflict(/*killer_thread=*/40, tracer, &line);
+  const Attribution& a = tracer.attribution();
+  EXPECT_EQ(a.crossSocketAborts(), 1u);
+  EXPECT_EQ(a.intraSocketAborts(), 0u);
+  ASSERT_GE(a.matrix().size(), 2u);
+  EXPECT_EQ(a.matrix()[1][0], 1u);  // socket-1 killer, socket-0 victim
+}
+
+TEST(ObsEnv, SelfCapacityAbortTracedWithEvictions) {
+  sim::MachineConfig cfg = sim::LargeMachine();
+  htm::Env env(cfg);
+  Tracer tracer(/*keep_events=*/true);
+  env.setTracer(&tracer);
+  const uint32_t ways = cfg.l1_ways;
+  const uint32_t sets = cfg.l1_sets;
+  std::vector<int64_t*> blocks;
+  while (blocks.size() < ways + 2) {
+    void* p = env.allocShared(64);
+    if (mem::lineOf(p) % sets == 0) blocks.push_back(static_cast<int64_t*>(p));
+  }
+  env.spawnWorker(
+      [&](htm::ThreadCtx& ctx) {
+        unsigned s;
+        NATLE_TX_BEGIN(ctx, s);
+        if (s == htm::kTxStarted) {
+          for (auto* b : blocks) ctx.store(*b, int64_t{1});
+          ctx.txCommit();
+        }
+      },
+      sim::placeThread(cfg, sim::PinPolicy::kFillSocketFirst, 0));
+  env.run();
+  const Attribution& a = tracer.attribution();
+  EXPECT_EQ(a.abortsByReason(AbortReason::kCapacity), 1u);
+  EXPECT_EQ(a.selfOrUnknownAborts(), 1u);  // no other thread involved
+  EXPECT_GE(a.capacityEvictions(), 1u);
+  const std::string dump = tracer.dumpJsonl();
+  EXPECT_NE(dump.find("\"kind\":\"capacity_evict\""), std::string::npos);
+  EXPECT_NE(dump.find("\"set\":0"), std::string::npos);
+}
+
+TEST(ObsSetBench, TracingNeverPerturbsAndIsDeterministic) {
+  workload::SetBenchConfig cfg;
+  cfg.nthreads = 8;
+  cfg.key_range = 256;
+  cfg.warmup_ms = 0.1;
+  cfg.measure_ms = 0.3;
+  cfg.trials = 2;
+  const workload::SetBenchResult base = runSetBench(cfg);
+  EXPECT_FALSE(base.has_attribution);
+
+  cfg.trace = true;
+  cfg.trace_raw = true;
+  const workload::SetBenchResult t1 = runSetBench(cfg);
+  const workload::SetBenchResult t2 = runSetBench(cfg);
+
+  // Tracing is observational: simulation results are bit-identical.
+  EXPECT_EQ(base.mops, t1.mops);
+  EXPECT_EQ(base.stats.tx_begins, t1.stats.tx_begins);
+  EXPECT_EQ(base.stats.totalAborts(), t1.stats.totalAborts());
+
+  // The trace agrees with the stats counters it shadows.
+  ASSERT_TRUE(t1.has_attribution);
+  EXPECT_EQ(t1.attribution.txBegins(), t1.stats.tx_begins);
+  EXPECT_EQ(t1.attribution.txCommits(), t1.stats.tx_commits);
+  EXPECT_EQ(t1.attribution.txAborts(), t1.stats.totalAborts());
+
+  // Identical configs produce byte-identical dumps and summaries (stable
+  // line ids make this hold across processes too; CI checks that half).
+  EXPECT_EQ(t1.attribution.toJson(), t2.attribution.toJson());
+  ASSERT_FALSE(t1.raw_trace.empty());
+  EXPECT_EQ(t1.raw_trace, t2.raw_trace);
+  EXPECT_EQ(t1.raw_trace.front(), '{');
+  EXPECT_EQ(t1.raw_trace.back(), '\n');
+}

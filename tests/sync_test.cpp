@@ -274,3 +274,43 @@ TEST(Natle, WarmupThresholdKeepsBothSockets) {
     EXPECT_DOUBLE_EQ(d.fastest_slice, 1.0);
   }
 }
+
+TEST(Natle, DecideModesPicksTrueAlternateOnMultiSocketProfiles) {
+  // Regression: the slice denominator was hard-coded to mode `1 - fastest`
+  // ("the other socket"), which is only meaningful on a two-socket machine.
+  // With four sockets (five modes: one per socket + all-sockets) and mode 2
+  // fastest, the old code looked at mode -1/garbage and silently degraded
+  // the slice to 1.0, starving the alternate of its quantum share.
+  const std::vector<int64_t> acqs{10, 20, 5000, 3000, 4000};
+  const auto md = NatleLock::decideModes(acqs, /*min_acquisitions=*/256);
+  EXPECT_EQ(md.fastest, 2);
+  EXPECT_EQ(md.alternate, 4);  // best of the rest, not "1 - fastest"
+  EXPECT_DOUBLE_EQ(md.slice, 5000.0 / 9000.0);
+}
+
+TEST(Natle, DecideModesTwoSocketMatchesPaperRule) {
+  // On the paper's two-socket machine (modes: socket 0, socket 1, both) the
+  // generalized rule reduces to the original: slice = fastest / (s0 + s1).
+  const auto md = NatleLock::decideModes({600, 200, 300}, 256);
+  EXPECT_EQ(md.fastest, 0);
+  EXPECT_EQ(md.alternate, 2);  // both-sockets beat socket 1 this cycle
+  EXPECT_DOUBLE_EQ(md.slice, 600.0 / 900.0);
+
+  const auto md2 = NatleLock::decideModes({600, 300, 200}, 256);
+  EXPECT_EQ(md2.fastest, 0);
+  EXPECT_EQ(md2.alternate, 1);
+  EXPECT_DOUBLE_EQ(md2.slice, 600.0 / 900.0);
+}
+
+TEST(Natle, DecideModesWarmupAndAllSocketsFastest) {
+  // Below the warm-up threshold: both-sockets mode, no throttling.
+  const auto warm = NatleLock::decideModes({10, 20, 30}, 256);
+  EXPECT_EQ(warm.fastest, 2);
+  EXPECT_EQ(warm.alternate, 2);
+  EXPECT_DOUBLE_EQ(warm.slice, 1.0);
+
+  // All-sockets fastest: no throttling either.
+  const auto all = NatleLock::decideModes({100, 200, 5000}, 256);
+  EXPECT_EQ(all.fastest, 2);
+  EXPECT_DOUBLE_EQ(all.slice, 1.0);
+}
