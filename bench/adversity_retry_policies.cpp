@@ -1,0 +1,128 @@
+// Robustness experiment: Figure 2's retry policies re-run under escalating
+// injected adversity on the large machine. The paper's policy ranking is
+// measured on a quiet machine; this sweep asks which retry policy degrades
+// gracefully when the environment misbehaves:
+//
+//   x = 0  no faults (matches the quiet-machine baseline)
+//   x = 1  bursty spurious-abort storms pinned to socket 1
+//   x = 2  + transient L1 way squeezes and interconnect latency spikes
+//   x = 3  + lock-holder stalls (preempted fallback-lock holder)
+//
+// Every point runs with the livelock watchdog armed, so a policy that
+// collapses into a lemming cascade under a stall burst is recorded as a
+// structured "failed" point rather than hanging the sweep.
+//
+// Setting NATLE_ADVERSITY_HANG=1 adds a deliberately livelocked point (an
+// always-on multi-millisecond lock-holder stall, far beyond the watchdog
+// budget) used by CI to prove the watchdog converts hangs into failures.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "exp/exp.hpp"
+#include "fault/fault.hpp"
+#include "workload/setbench.hpp"
+
+using namespace natle;
+using namespace natle::workload;
+
+namespace {
+
+// Parses a built-in spec and scales its burst windows by NATLE_SIM_SCALE:
+// the measurement window shrinks with the scale, and unscaled ~0.5ms fault
+// periods would land entirely outside a scaled-down trial.
+fault::FaultSpec specOf(const char* text, double time_scale) {
+  fault::FaultSpec spec;
+  std::string err;
+  if (!fault::FaultSpec::parse(text, &spec, &err)) {
+    std::fprintf(stderr, "adversity: bad built-in fault spec %s: %s\n", text,
+                 err.c_str());
+    std::abort();
+  }
+  for (fault::BurstCfg* b :
+       {&spec.storm, &spec.squeeze, &spec.link, &spec.stall}) {
+    b->period_ms *= time_scale;
+    b->duration_ms *= time_scale;
+  }
+  return spec;
+}
+
+void planAdversity(const BenchOptions& opt, exp::Plan& plan) {
+  const std::vector<std::pair<const char*, sync::TlePolicy>> policies = {
+      {"TLE-20", sync::Tle20()},
+      {"TLE-5", sync::Tle5()},
+      {"TLE-20-hint-bit", sync::Tle20HintBit()},
+      {"TLE-20-count-lock", sync::Tle20CountLock()},
+  };
+  // Escalating adversity levels. Rates/periods are simulated-time; every
+  // channel is windowed so quiet stretches separate the bursts.
+  const std::vector<std::pair<double, const char*>> levels = {
+      {0, ""},
+      {1, "storm:rate=2e-4,period_ms=0.5,duration_ms=0.1,socket=1;seed=9"},
+      {2,
+       "storm:rate=2e-4,period_ms=0.5,duration_ms=0.1,socket=1;"
+       "squeeze:ways=6,period_ms=0.7,duration_ms=0.15;"
+       "link:extra=300,period_ms=0.9,duration_ms=0.2;seed=9"},
+      {3,
+       "storm:rate=2e-4,period_ms=0.5,duration_ms=0.1,socket=1;"
+       "squeeze:ways=6,period_ms=0.7,duration_ms=0.15;"
+       "link:extra=300,period_ms=0.9,duration_ms=0.2;"
+       "stall:cycles=40000,period_ms=1.1,duration_ms=0.05;seed=9"},
+  };
+  auto sweep = std::make_shared<exp::SetSweep>(opt);
+  SetBenchConfig cfg;
+  cfg.key_range = 2048;
+  cfg.update_pct = 100;
+  cfg.sync = SyncKind::kTle;
+  cfg.nthreads = 48;  // cross-socket: both sockets active, storms asymmetric
+  cfg.measure_ms = 1.0 * opt.time_scale;
+  cfg.warmup_ms = 0.4 * opt.time_scale;
+  cfg.watchdog_ms = 2.0;
+  for (const auto& [name, pol] : policies) {
+    cfg.tle = pol;
+    for (const auto& [level, spec_text] : levels) {
+      cfg.fault = spec_text[0] != '\0' ? specOf(spec_text, opt.time_scale)
+                                       : fault::FaultSpec{};
+      sweep->point(plan, name, level, cfg);
+    }
+  }
+  if (const char* hang = std::getenv("NATLE_ADVERSITY_HANG");
+      hang != nullptr && hang[0] == '1') {
+    // An always-on ~10ms lock-holder stall against a 2ms progress budget:
+    // every thread piles behind the held fallback lock and the watchdog must
+    // convert the hang into a deterministic failed point.
+    SetBenchConfig h = cfg;
+    h.tle = sync::Tle20();
+    h.nthreads = 8;
+    h.fault = specOf(
+        "stall:cycles=23000000,period_ms=0.01,duration_ms=50;seed=1",
+        opt.time_scale);
+    sweep->point(plan, "hang-livelock", 99, h);
+  }
+  plan.emit = [sweep](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    for (const auto& p : sweep->aggregate(results)) {
+      rows.push_back({p.series, p.x, p.r.mops});
+      rows.push_back({std::string(p.series) + "-abort-rate", p.x,
+                      p.r.abort_rate});
+    }
+    return rows;
+  };
+}
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    adversity, "adversity_retry_policies",
+    "TLE retry policies under injected abort storms, cache squeezes, link "
+    "spikes and lock-holder stalls; watchdog armed",
+    "Section 3.1 (robustness)", "y = Mops/s; -abort-rate: aborts/begin",
+    planAdversity);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("adversity_retry_policies", argc, argv);
+}
+#endif

@@ -8,6 +8,8 @@
 // manifest.json (git SHA, NATLE_SIM_SCALE, simulated machine shape, per-
 // experiment timing) and prints a timing summary table. All output except
 // the wall_ms fields is byte-identical for any --jobs value.
+#include <signal.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -15,10 +17,12 @@
 #include <cstring>
 #include <ctime>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "exp/exp.hpp"
+#include "fault/fault.hpp"
 #include "sim/config.hpp"
 #include "workload/json.hpp"
 
@@ -27,6 +31,21 @@ using natle::workload::BenchOptions;
 using natle::workload::JsonWriter;
 
 namespace {
+
+// SIGINT/SIGTERM request a graceful stop: in-flight points finish (thread
+// mode) or are killed and left not-run (isolate mode), completed points are
+// flushed to disk, and --resume picks the sweep back up.
+exp::StopToken g_stop;
+
+void onStopSignal(int) { g_stop.request(); }
+
+void installStopHandlers() {
+  struct sigaction sa{};
+  sa.sa_handler = onStopSignal;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
 
 void printUsage(std::FILE* to) {
   std::fputs(
@@ -48,6 +67,21 @@ void printUsage(std::FILE* to) {
       "                           fallback episodes) lands in the JSON records\n"
       "  --progress               per-data-point completion lines on stderr\n"
       "  --out-dir DIR            result directory (default bench_results)\n"
+      "  --fault SPEC             inject a deterministic fault schedule into\n"
+      "                           every point, e.g.\n"
+      "                           'storm:rate=2e-4,period_ms=1,duration_ms=0.2;"
+      "seed=7'\n"
+      "  --watchdog-ms N          fail any point making no progress for N\n"
+      "                           simulated ms (records it, keeps sweeping)\n"
+      "  --isolate                fork each point into its own process;\n"
+      "                           crashes/timeouts become failed records\n"
+      "  --point-timeout S        wall-clock seconds per point before an\n"
+      "                           isolated child is killed (needs --isolate)\n"
+      "  --retry-transient N      retry a failed point up to N times with a\n"
+      "                           reseeded config before recording failure\n"
+      "  --resume                 skip points already present in the output\n"
+      "                           files under --out-dir (byte-identical\n"
+      "                           splice of prior records)\n"
       "  --help, -h               this text\n"
       "trace options:\n"
       "  --series S               only jobs of series S\n"
@@ -104,9 +138,22 @@ bool writeFile(const std::filesystem::path& path, const std::string& body) {
   return ok;
 }
 
+// Reads a whole file; empty optional-style: ok=false when unreadable.
+bool readFile(const std::filesystem::path& path, std::string* body) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  size_t n;
+  body->clear();
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) body->append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
 std::string renderManifest(const BenchOptions& opt, int jobs_requested,
                            const std::vector<exp::ExperimentOutput>& outs,
-                           double total_wall_ms) {
+                           double total_wall_ms, bool interrupted) {
   JsonWriter w;
   w.beginObject();
   w.key("tool").value("natle-bench");
@@ -128,12 +175,16 @@ std::string renderManifest(const BenchOptions& opt, int jobs_requested,
     w.key("paper_ref").value(o.experiment->paper_ref);
     w.key("data_points").value(static_cast<uint64_t>(o.n_jobs));
     w.key("csv_rows").value(static_cast<uint64_t>(o.n_records));
+    w.key("failed").value(static_cast<uint64_t>(o.n_failed));
+    w.key("not_run").value(static_cast<uint64_t>(o.n_not_run));
+    w.key("resumed").value(static_cast<uint64_t>(o.n_resumed));
     w.key("csv").value(std::string(o.experiment->name) + ".csv");
     w.key("json").value(std::string(o.experiment->name) + ".json");
     w.key("job_wall_ms").value(o.job_wall_ms);
     w.endObject().newline();
   }
   w.endArray();
+  w.key("interrupted").value(interrupted);
   w.key("total_wall_ms").value(total_wall_ms);
   w.endObject().newline();
   return w.take();
@@ -141,6 +192,7 @@ std::string renderManifest(const BenchOptions& opt, int jobs_requested,
 
 int cmdRun(int argc, char** argv) {
   bool all = false;
+  bool resume = false;
   std::vector<std::string> filters;
   BenchOptions opt;
   exp::RunnerOptions ropt;
@@ -180,12 +232,60 @@ int cmdRun(int argc, char** argv) {
       ropt.progress = true;
     } else if (std::strcmp(a, "--out-dir") == 0) {
       out_dir = needValue(a);
+    } else if (std::strcmp(a, "--fault") == 0) {
+      opt.fault_spec = needValue(a);
+    } else if (std::strncmp(a, "--fault=", 8) == 0) {
+      opt.fault_spec = a + 8;
+    } else if (std::strcmp(a, "--watchdog-ms") == 0 ||
+               std::strncmp(a, "--watchdog-ms=", 14) == 0) {
+      const char* v = a[13] == '=' ? a + 14 : needValue(a);
+      if (!BenchOptions::parseScale(v, &opt.watchdog_ms)) {
+        std::fprintf(stderr, "natle-bench: invalid --watchdog-ms value: %s\n",
+                     v);
+        return 2;
+      }
+    } else if (std::strcmp(a, "--isolate") == 0) {
+      ropt.isolate = true;
+    } else if (std::strcmp(a, "--point-timeout") == 0 ||
+               std::strncmp(a, "--point-timeout=", 16) == 0) {
+      const char* v = a[15] == '=' ? a + 16 : needValue(a);
+      if (!BenchOptions::parseScale(v, &ropt.point_timeout_s)) {
+        std::fprintf(stderr,
+                     "natle-bench: invalid --point-timeout value: %s\n", v);
+        return 2;
+      }
+    } else if (std::strcmp(a, "--retry-transient") == 0 ||
+               std::strncmp(a, "--retry-transient=", 18) == 0) {
+      const char* v = a[17] == '=' ? a + 18 : needValue(a);
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < 0 || n > 100) {
+        std::fprintf(stderr,
+                     "natle-bench: invalid --retry-transient value: %s\n", v);
+        return 2;
+      }
+      ropt.transient_retries = static_cast<int>(n);
+    } else if (std::strcmp(a, "--resume") == 0) {
+      resume = true;
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       printUsage(stdout);
       return 0;
     } else {
       std::fprintf(stderr, "natle-bench: unknown argument: %s\n", a);
       printUsage(stderr);
+      return 2;
+    }
+  }
+  if (ropt.point_timeout_s > 0 && !ropt.isolate) {
+    std::fprintf(stderr, "natle-bench: --point-timeout requires --isolate\n");
+    return 2;
+  }
+  if (!opt.fault_spec.empty()) {
+    fault::FaultSpec spec;
+    std::string err;
+    if (!fault::FaultSpec::parse(opt.fault_spec, &spec, &err)) {
+      std::fprintf(stderr, "natle-bench: invalid --fault spec: %s\n",
+                   err.c_str());
       return 2;
     }
   }
@@ -241,8 +341,35 @@ int cmdRun(int argc, char** argv) {
     return 1;
   }
 
-  std::fprintf(stderr, "natle-bench: %zu experiment(s), %d worker(s)\n",
-               selected.size(), exp::resolveWorkers(ropt.jobs));
+  // --resume: harvest completed points from the existing result files so
+  // only the missing/failed ones rerun. Prior records are spliced into the
+  // new files byte-for-byte.
+  std::map<std::string, std::map<std::string, exp::ResumePoint>> resume_maps;
+  if (resume) {
+    for (const exp::Experiment* e : selected) {
+      std::string body;
+      if (!readFile(out_dir / (std::string(e->name) + ".json"), &body)) {
+        continue;
+      }
+      std::map<std::string, exp::ResumePoint> pts;
+      std::string prior_name, err;
+      if (!exp::loadResumeFile(body, &pts, &prior_name, &err)) {
+        std::fprintf(stderr,
+                     "natle-bench: ignoring unparseable %s.json: %s\n",
+                     e->name, err.c_str());
+        continue;
+      }
+      if (!prior_name.empty() && prior_name != e->name) continue;
+      if (!pts.empty()) resume_maps[e->name] = std::move(pts);
+    }
+    ropt.resume = &resume_maps;
+  }
+  installStopHandlers();
+  ropt.stop = &g_stop;
+
+  std::fprintf(stderr, "natle-bench: %zu experiment(s), %d worker(s)%s\n",
+               selected.size(), exp::resolveWorkers(ropt.jobs),
+               ropt.isolate ? ", crash-isolated" : "");
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<exp::ExperimentOutput> outs =
       exp::runExperiments(selected, opt, ropt);
@@ -250,6 +377,7 @@ int cmdRun(int argc, char** argv) {
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - t0)
           .count();
+  const bool interrupted = g_stop.stopped();
 
   for (const exp::ExperimentOutput& o : outs) {
     if (!writeFile(out_dir / (std::string(o.experiment->name) + ".csv"),
@@ -259,26 +387,46 @@ int cmdRun(int argc, char** argv) {
       return 1;
     }
   }
-  if (!writeFile(out_dir / "manifest.json",
-                 renderManifest(opt, ropt.jobs, outs, total_wall_ms))) {
+  if (!writeFile(
+          out_dir / "manifest.json",
+          renderManifest(opt, ropt.jobs, outs, total_wall_ms, interrupted))) {
     return 1;
   }
 
-  std::printf("%-24s %8s %8s %12s\n", "experiment", "points", "rows",
-              "job-wall(s)");
+  std::printf("%-24s %8s %8s %8s %12s\n", "experiment", "points", "rows",
+              "failed", "job-wall(s)");
   double sum_job_wall = 0;
+  size_t total_failed = 0, total_not_run = 0, total_resumed = 0;
   for (const exp::ExperimentOutput& o : outs) {
-    std::printf("%-24s %8zu %8zu %12.2f\n", o.experiment->name, o.n_jobs,
-                o.n_records, o.job_wall_ms / 1e3);
+    std::printf("%-24s %8zu %8zu %8zu %12.2f\n", o.experiment->name, o.n_jobs,
+                o.n_records, o.n_failed, o.job_wall_ms / 1e3);
     sum_job_wall += o.job_wall_ms;
+    total_failed += o.n_failed;
+    total_not_run += o.n_not_run;
+    total_resumed += o.n_resumed;
   }
   // job-wall / elapsed is average in-flight concurrency, not speedup: on a
   // timeshared core per-job wall times inflate and the ratio stays ~N.
-  std::printf("%-24s %8s %8s %12.2f  (elapsed %.2fs, concurrency %.2fx)\n",
-              "total", "", "", sum_job_wall / 1e3, total_wall_ms / 1e3,
+  std::printf("%-24s %8s %8s %8zu %12.2f  (elapsed %.2fs, concurrency %.2fx)\n",
+              "total", "", "", total_failed, sum_job_wall / 1e3,
+              total_wall_ms / 1e3,
               total_wall_ms > 0 ? sum_job_wall / total_wall_ms : 0.0);
+  if (total_resumed > 0) {
+    std::printf("resumed: %zu point(s) reused from prior results\n",
+                total_resumed);
+  }
+  for (const exp::ExperimentOutput& o : outs) {
+    exp::printFailureSummary(o, stderr);
+  }
+  if (interrupted) {
+    std::fprintf(stderr,
+                 "natle-bench: interrupted; %zu point(s) not run. Completed "
+                 "points were flushed; rerun with --resume to finish.\n",
+                 total_not_run);
+  }
   std::printf("results: %s\n", out_dir.c_str());
-  return 0;
+  if (interrupted) return 130;
+  return total_failed > 0 ? 1 : 0;
 }
 
 // `natle-bench trace <experiment>`: expand the experiment's plan and print

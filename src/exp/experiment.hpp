@@ -34,6 +34,13 @@ struct Job {
   // stream (`natle-bench trace <experiment>`). Unset for jobs whose planner
   // does not support tracing.
   std::function<std::string()> dump_trace;
+  // Reruns the job with a salt (>= 1) folded into its seeds; used by the
+  // runner's capped retry-with-reseed when a transient-flagged point fails.
+  // Unset jobs are never retried.
+  std::function<PointData(int salt)> run_reseeded;
+  // Marks failures of this job as plausibly transient (fault injection or a
+  // watchdog armed): the runner may retry via run_reseeded.
+  bool transient = false;
 };
 
 struct Plan {

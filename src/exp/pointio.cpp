@@ -1,0 +1,227 @@
+#include "exp/pointio.hpp"
+
+#include <charconv>
+
+#include "htm/abort.hpp"
+#include "htm/stats.hpp"
+
+namespace natle::exp {
+
+namespace {
+
+// Shortest round-trip rendering, identical to JsonWriter's number format —
+// jobKey must produce the same text whether the x came from a Job (double)
+// or from a parsed record (double decoded from that same text).
+void appendNum(std::string* out, double v) {
+  char buf[32];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;
+  out->append(buf, p);
+}
+
+void appendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;
+  out->append(buf, p);
+}
+
+// Shared middle section of a record / child payload: the result fields for
+// an ok point, or the structured failure object.
+void appendPointPayload(workload::JsonWriter& w, const PointData& p) {
+  if (p.status == PointStatus::kFailed) {
+    w.key("failed");
+    w.beginObject();
+    w.key("kind").value(p.failure_kind);
+    w.key("diagnostic").value(p.failure_diagnostic);
+    w.endObject();
+    return;
+  }
+  w.key("value").value(p.value);
+  if (p.has_stats) {
+    w.key("stats");
+    appendJson(w, p.stats);
+  }
+  if (!p.aux.empty()) {
+    w.key("aux");
+    w.beginObject();
+    for (const auto& [k, v] : p.aux) w.key(k).value(v);
+    w.endObject();
+  }
+  if (!p.curve.empty()) {
+    w.key("curve");
+    w.beginArray();
+    for (const auto& [cx, cy] : p.curve) {
+      w.beginArray().value(cx).value(cy).endArray();
+    }
+    w.endArray();
+  }
+  if (!p.attribution_json.empty()) {
+    w.key("attribution").raw(p.attribution_json);
+  }
+}
+
+bool statsFromJson(const workload::JsonValue& v, htm::TxStats* s) {
+  if (!v.isObject()) return false;
+  auto u64 = [&v](const char* k, uint64_t* dst) {
+    if (const workload::JsonValue* f = v.find(k)) *dst = f->asU64();
+  };
+  u64("ops", &s->ops);
+  u64("tx_begins", &s->tx_begins);
+  u64("tx_commits", &s->tx_commits);
+  if (const workload::JsonValue* ab = v.find("aborts")) {
+    for (int r = 1; r < htm::kAbortReasonCount; ++r) {
+      if (const workload::JsonValue* f =
+              ab->find(htm::toString(static_cast<htm::AbortReason>(r)))) {
+        s->tx_aborts[r] = f->asU64();
+      }
+    }
+  }
+  u64("commits_after_hintclear_fail", &s->commits_after_hintclear_fail);
+  u64("lock_acquires", &s->lock_acquires);
+  u64("l1_hits", &s->l1_hits);
+  u64("local_hits", &s->local_hits);
+  u64("remote_transfers", &s->remote_transfers);
+  u64("dram_misses", &s->dram_misses);
+  return true;
+}
+
+}  // namespace
+
+std::string jobKey(std::string_view series, double x, int trial,
+                   uint64_t seed, std::string_view config_json) {
+  std::string k;
+  k.reserve(series.size() + config_json.size() + 48);
+  k.append(series);
+  k += '\x1f';
+  appendNum(&k, x);
+  k += '\x1f';
+  appendU64(&k, static_cast<uint64_t>(trial));
+  k += '\x1f';
+  appendU64(&k, seed);
+  k += '\x1f';
+  k.append(config_json);
+  return k;
+}
+
+std::string jobKey(const Job& j) {
+  return jobKey(j.series, j.x, j.trial, j.seed, j.config_json);
+}
+
+void appendRecordJson(workload::JsonWriter& w, const Job& j,
+                      const PointData& p, double wall_ms) {
+  if (!p.resumed_record.empty()) {
+    w.raw(p.resumed_record);
+    return;
+  }
+  w.beginObject();
+  w.key("series").value(j.series);
+  w.key("x").value(j.x);
+  w.key("trial").value(j.trial);
+  w.key("seed").value(j.seed);
+  if (!j.config_json.empty()) w.key("config").raw(j.config_json);
+  appendPointPayload(w, p);
+  if (p.retries > 0) w.key("retries").value(p.retries);
+  // Keep wall_ms last: it is the one nondeterministic field, and a fixed
+  // position lets determinism checks strip it with a one-line filter.
+  w.key("wall_ms").value(wall_ms);
+  w.endObject();
+}
+
+std::string pointDataToJson(const PointData& p) {
+  workload::JsonWriter w;
+  w.beginObject();
+  w.key("status").value(p.status == PointStatus::kFailed ? "failed" : "ok");
+  appendPointPayload(w, p);
+  w.endObject();
+  return w.take();
+}
+
+bool pointDataFromJson(const workload::JsonValue& v, PointData* out) {
+  if (!v.isObject()) return false;
+  *out = PointData{};
+  if (const workload::JsonValue* failed = v.find("failed")) {
+    out->status = PointStatus::kFailed;
+    if (const workload::JsonValue* k = failed->find("kind")) {
+      out->failure_kind = k->str;
+    }
+    if (const workload::JsonValue* d = failed->find("diagnostic")) {
+      out->failure_diagnostic = d->str;
+    }
+    return true;
+  }
+  const workload::JsonValue* value = v.find("value");
+  if (value == nullptr || !value->isNumber()) return false;
+  out->value = value->number;
+  if (const workload::JsonValue* stats = v.find("stats")) {
+    if (!statsFromJson(*stats, &out->stats)) return false;
+    out->has_stats = true;
+  }
+  if (const workload::JsonValue* aux = v.find("aux")) {
+    if (!aux->isObject()) return false;
+    for (const auto& [k, f] : aux->members) {
+      out->aux.emplace_back(k, f.number);
+    }
+  }
+  if (const workload::JsonValue* curve = v.find("curve")) {
+    if (!curve->isArray()) return false;
+    for (const workload::JsonValue& pt : curve->items) {
+      if (!pt.isArray() || pt.items.size() != 2) return false;
+      out->curve.emplace_back(pt.items[0].number, pt.items[1].number);
+    }
+  }
+  if (const workload::JsonValue* attr = v.find("attribution")) {
+    out->attribution_json = attr->raw;
+  }
+  if (const workload::JsonValue* retries = v.find("retries")) {
+    out->retries = static_cast<int>(retries->asI64());
+  }
+  return true;
+}
+
+bool loadResumeFile(std::string_view text,
+                    std::map<std::string, ResumePoint>* out,
+                    std::string* experiment_name, std::string* err) {
+  workload::JsonValue doc;
+  if (!parseJson(text, &doc, err)) return false;
+  if (!doc.isObject()) {
+    if (err != nullptr) *err = "result file is not a JSON object";
+    return false;
+  }
+  if (experiment_name != nullptr) {
+    if (const workload::JsonValue* n = doc.find("experiment")) {
+      *experiment_name = n->str;
+    }
+  }
+  const workload::JsonValue* points = doc.find("points");
+  if (points == nullptr || !points->isArray()) {
+    if (err != nullptr) *err = "result file has no points array";
+    return false;
+  }
+  for (const workload::JsonValue& rec : points->items) {
+    if (!rec.isObject()) continue;
+    if (rec.find("failed") != nullptr) continue;  // rerun failed points
+    const workload::JsonValue* series = rec.find("series");
+    const workload::JsonValue* x = rec.find("x");
+    const workload::JsonValue* trial = rec.find("trial");
+    const workload::JsonValue* seed = rec.find("seed");
+    if (series == nullptr || x == nullptr || trial == nullptr ||
+        seed == nullptr) {
+      continue;
+    }
+    const workload::JsonValue* config = rec.find("config");
+    ResumePoint rp;
+    if (!pointDataFromJson(rec, &rp.data)) continue;
+    if (const workload::JsonValue* wall = rec.find("wall_ms")) {
+      rp.wall_ms = wall->number;
+    }
+    rp.raw = rec.raw;
+    const std::string key =
+        jobKey(series->str, x->number, static_cast<int>(trial->asI64()),
+               seed->asU64(), config != nullptr ? config->raw : "");
+    (*out)[key] = std::move(rp);
+  }
+  return true;
+}
+
+}  // namespace natle::exp

@@ -1,0 +1,53 @@
+// Point-record serialization shared by the runner's JSON renderer, the
+// isolate-mode child/parent pipe protocol, and --resume ingestion.
+//
+// A record's byte layout is part of the determinism contract: appendRecordJson
+// is the single writer, and a resumed point is re-emitted by splicing the
+// prior file's raw record text, so a resumed run's output is byte-identical
+// to an uninterrupted one (wall_ms included — it is carried over).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "exp/experiment.hpp"
+#include "exp/record.hpp"
+#include "workload/json.hpp"
+#include "workload/json_parse.hpp"
+
+namespace natle::exp {
+
+// Identity of a job inside one experiment; the --resume map key. Two jobs
+// with the same key are interchangeable by construction (same series, x,
+// trial, seed, and full serialized config).
+std::string jobKey(std::string_view series, double x, int trial,
+                   uint64_t seed, std::string_view config_json);
+std::string jobKey(const Job& j);
+
+// Appends one result record object (an element of the result file's
+// "points" array). Resumed points splice their stored record verbatim.
+void appendRecordJson(workload::JsonWriter& w, const Job& j,
+                      const PointData& p, double wall_ms);
+
+// Bare PointData <-> JSON, for shipping a result across the isolate-mode
+// pipe. The payload keys match the record layout (value/stats/aux/curve/
+// attribution or failed{kind,diagnostic}).
+std::string pointDataToJson(const PointData& p);
+bool pointDataFromJson(const workload::JsonValue& v, PointData* out);
+
+struct ResumePoint {
+  PointData data;       // reconstructed result (status kOk)
+  double wall_ms = 0;   // prior run's timing, carried into the new file
+  std::string raw;      // exact record text, re-spliced on emission
+};
+
+// Parses a result file previously written by the runner and collects every
+// successful record keyed by jobKey. Failed records are skipped (a resumed
+// run retries them). Returns false with a message on malformed input.
+bool loadResumeFile(std::string_view text,
+                    std::map<std::string, ResumePoint>* out,
+                    std::string* experiment_name, std::string* err);
+
+}  // namespace natle::exp

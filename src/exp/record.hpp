@@ -16,6 +16,11 @@
 
 namespace natle::exp {
 
+// How a point ended. kFailed points carry a structured failure record
+// instead of a value; kNotRun points (interrupted or skipped) are omitted
+// from result files entirely so --resume reruns them.
+enum class PointStatus { kOk, kFailed, kNotRun };
+
 // Raw outcome of one (config, seed, trial) simulation.
 struct PointData {
   double value = 0;     // primary metric (Mops/s, simulated ms, ...)
@@ -30,6 +35,22 @@ struct PointData {
   // hot lines) when the job ran with tracing; empty otherwise. Spliced into
   // the JSON record verbatim.
   std::string attribution_json;
+
+  PointStatus status = PointStatus::kOk;
+  // Failure classification when status == kFailed: "watchdog", "deadlock",
+  // "cycle_limit" (sim::WatchdogError kinds), "exception", or — isolate
+  // mode only — "crash" and "timeout".
+  std::string failure_kind;
+  // Deterministic diagnostic (watchdog dump, exception message, exit
+  // status). Emitted verbatim inside the failed record.
+  std::string failure_diagnostic;
+  // Extra attempts spent before this outcome (retry-with-reseed); > 0 means
+  // the recorded result came from a reseeded rerun.
+  int retries = 0;
+  // Set by the runner when the point was satisfied from a --resume file:
+  // the prior run's record text, re-emitted verbatim (guarantees resumed
+  // output is byte-identical to an uninterrupted run).
+  std::string resumed_record;
 };
 
 // One CSV output row.

@@ -1,13 +1,24 @@
 #include "exp/runner.hpp"
 
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <deque>
 #include <mutex>
 #include <thread>
 
+#include "exp/pointio.hpp"
+#include "sim/machine.hpp"
 #include "workload/json.hpp"
+#include "workload/json_parse.hpp"
 
 namespace natle::exp {
 
@@ -17,6 +28,38 @@ using Clock = std::chrono::steady_clock;
 
 double msSince(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+bool stopRequested(const RunnerOptions& ropt) {
+  return ropt.stop != nullptr && ropt.stop->stopped();
+}
+
+// Runs one job attempt, converting anything it throws into a failed point.
+// A tripped watchdog arrives as sim::WatchdogError and keeps its structured
+// kind + diagnostic; other exceptions are classified "exception".
+PointData guardedRun(const Job& j, int salt) {
+  try {
+    return salt > 0 && j.run_reseeded ? j.run_reseeded(salt) : j.run();
+  } catch (const sim::WatchdogError& e) {
+    PointData p;
+    p.status = PointStatus::kFailed;
+    p.failure_kind = e.kind;
+    p.failure_diagnostic = e.diagnostic;
+    return p;
+  } catch (const std::exception& e) {
+    PointData p;
+    p.status = PointStatus::kFailed;
+    p.failure_kind = "exception";
+    p.failure_diagnostic = e.what();
+    return p;
+  }
+}
+
+bool retryEligible(const Job& j, const PointData& p, int salt,
+                   const RunnerOptions& ropt) {
+  return p.status == PointStatus::kFailed && j.transient &&
+         static_cast<bool>(j.run_reseeded) && salt < ropt.transient_retries &&
+         !stopRequested(ropt);
 }
 
 std::string renderCsv(const Experiment& e, const std::vector<Record>& rows) {
@@ -51,40 +94,11 @@ std::string renderJson(const Experiment& e, const workload::BenchOptions& opt,
   w.key("points");
   w.beginArray().newline();
   for (size_t i = 0; i < jobs.size(); ++i) {
-    const Job& j = jobs[i];
-    const PointData& p = results[i];
-    w.beginObject();
-    w.key("series").value(j.series);
-    w.key("x").value(j.x);
-    w.key("trial").value(j.trial);
-    w.key("seed").value(j.seed);
-    if (!j.config_json.empty()) w.key("config").raw(j.config_json);
-    w.key("value").value(p.value);
-    if (p.has_stats) {
-      w.key("stats");
-      appendJson(w, p.stats);
-    }
-    if (!p.aux.empty()) {
-      w.key("aux");
-      w.beginObject();
-      for (const auto& [k, v] : p.aux) w.key(k).value(v);
-      w.endObject();
-    }
-    if (!p.curve.empty()) {
-      w.key("curve");
-      w.beginArray();
-      for (const auto& [cx, cy] : p.curve) {
-        w.beginArray().value(cx).value(cy).endArray();
-      }
-      w.endArray();
-    }
-    if (!p.attribution_json.empty()) {
-      w.key("attribution").raw(p.attribution_json);
-    }
-    // Keep wall_ms last: it is the one nondeterministic field, and a fixed
-    // position lets determinism checks strip it with a one-line filter.
-    w.key("wall_ms").value(wall_ms[i]);
-    w.endObject().newline();
+    // Skipped points are omitted entirely: the file then only claims what
+    // actually ran, and --resume retries exactly the missing keys.
+    if (results[i].status == PointStatus::kNotRun) continue;
+    appendRecordJson(w, jobs[i], results[i], wall_ms[i]);
+    w.newline();
   }
   w.endArray();
   w.endObject().newline();
@@ -96,9 +110,280 @@ std::vector<Record> defaultEmit(const std::vector<Job>& jobs,
   std::vector<Record> rows;
   rows.reserve(jobs.size());
   for (size_t i = 0; i < jobs.size(); ++i) {
+    if (results[i].status != PointStatus::kOk) continue;
     rows.push_back({jobs[i].series, jobs[i].x, results[i].value});
   }
   return rows;
+}
+
+struct Slot {
+  size_t exp, job;
+};
+
+void printProgress(std::mutex& io_mu, size_t finished, size_t total,
+                   const char* exp_name, const Job& j, double wall,
+                   const PointData& p) {
+  std::lock_guard<std::mutex> lk(io_mu);
+  if (p.status == PointStatus::kFailed) {
+    std::fprintf(stderr, "[%4zu/%zu] %s %s x=%g trial=%d FAILED (%s) (%.2fs)\n",
+                 finished, total, exp_name, j.series.c_str(), j.x, j.trial,
+                 p.failure_kind.c_str(), wall / 1e3);
+  } else {
+    std::fprintf(stderr, "[%4zu/%zu] %s %s x=%g trial=%d (%.2fs)\n", finished,
+                 total, exp_name, j.series.c_str(), j.x, j.trial, wall / 1e3);
+  }
+}
+
+// --- thread mode ----------------------------------------------------------
+
+void runPool(const std::vector<const Experiment*>& exps,
+             const std::vector<Plan>& plans, const std::vector<Slot>& queue,
+             const RunnerOptions& ropt,
+             std::vector<std::vector<PointData>>& results,
+             std::vector<std::vector<double>>& wall_ms) {
+  const int workers =
+      std::min(resolveWorkers(ropt.jobs),
+               static_cast<int>(std::max<size_t>(queue.size(), 1)));
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex io_mu;
+  auto work = [&] {
+    for (;;) {
+      if (stopRequested(ropt)) return;  // queued work stays kNotRun
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= queue.size()) return;
+      const Slot s = queue[i];
+      const Job& j = plans[s.exp].jobs[s.job];
+      const auto t0 = Clock::now();
+      int salt = 0;
+      PointData p = guardedRun(j, salt);
+      while (retryEligible(j, p, salt, ropt)) {
+        p = guardedRun(j, ++salt);
+      }
+      p.retries = salt;
+      results[s.exp][s.job] = std::move(p);
+      wall_ms[s.exp][s.job] = msSince(t0);
+      const size_t finished = done.fetch_add(1) + 1;
+      if (ropt.progress) {
+        printProgress(io_mu, finished, queue.size(), exps[s.exp]->name, j,
+                      wall_ms[s.exp][s.job], results[s.exp][s.job]);
+      }
+    }
+  };
+  if (workers <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (int t = 0; t < workers; ++t) pool.emplace_back(work);
+    for (auto& th : pool) th.join();
+  }
+}
+
+// --- isolate mode ---------------------------------------------------------
+
+struct IsolateChild {
+  pid_t pid = -1;
+  int fd = -1;         // read end of the result pipe
+  size_t qi = 0;       // queue index
+  int salt = 0;
+  bool timed_out = false;
+  bool has_deadline = false;
+  Clock::time_point start;
+  Clock::time_point deadline;
+  std::string buf;
+};
+
+void spawnChild(const Job& j, size_t qi, int salt, double timeout_s,
+                std::vector<IsolateChild>& active) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    std::perror("natle: pipe");
+    std::abort();
+  }
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    // Child: run the point, ship the serialized result, vanish. _exit skips
+    // atexit/stdio teardown inherited from the parent.
+    ::close(fds[0]);
+    for (const IsolateChild& c : active) ::close(c.fd);
+    ::signal(SIGINT, SIG_DFL);
+    ::signal(SIGTERM, SIG_DFL);
+    const PointData p = guardedRun(j, salt);
+    const std::string msg = pointDataToJson(p);
+    size_t off = 0;
+    while (off < msg.size()) {
+      const ssize_t n = ::write(fds[1], msg.data() + off, msg.size() - off);
+      if (n <= 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      off += static_cast<size_t>(n);
+    }
+    ::close(fds[1]);
+    ::_exit(0);
+  }
+  ::close(fds[1]);
+  IsolateChild c;
+  c.pid = pid;
+  c.fd = fds[0];
+  c.qi = qi;
+  c.salt = salt;
+  c.start = Clock::now();
+  if (timeout_s > 0) {
+    c.has_deadline = true;
+    c.deadline = c.start + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(timeout_s));
+  }
+  active.push_back(std::move(c));
+}
+
+// Interprets a reaped child: parse its payload on a clean exit, otherwise
+// synthesize a crash/timeout failure with the exit detail as diagnostic.
+PointData childOutcome(const IsolateChild& c, int wait_status) {
+  PointData p;
+  if (c.timed_out) {
+    p.status = PointStatus::kFailed;
+    p.failure_kind = "timeout";
+    p.failure_diagnostic = "point exceeded wall-clock budget; child killed";
+    return p;
+  }
+  if (WIFEXITED(wait_status) && WEXITSTATUS(wait_status) == 0) {
+    workload::JsonValue v;
+    std::string err;
+    if (workload::parseJson(c.buf, &v, &err) && pointDataFromJson(v, &p)) {
+      return p;
+    }
+    p = PointData{};
+    p.status = PointStatus::kFailed;
+    p.failure_kind = "crash";
+    p.failure_diagnostic = "child result unparseable: " + err;
+    return p;
+  }
+  p.status = PointStatus::kFailed;
+  p.failure_kind = "crash";
+  if (WIFSIGNALED(wait_status)) {
+    const int sig = WTERMSIG(wait_status);
+    const char* name = ::strsignal(sig);
+    p.failure_diagnostic = "child killed by signal " + std::to_string(sig) +
+                           (name != nullptr ? std::string(" (") + name + ")"
+                                            : std::string());
+  } else {
+    p.failure_diagnostic =
+        "child exited with status " + std::to_string(WEXITSTATUS(wait_status));
+  }
+  return p;
+}
+
+void runIsolated(const std::vector<const Experiment*>& exps,
+                 const std::vector<Plan>& plans, const std::vector<Slot>& queue,
+                 const RunnerOptions& ropt,
+                 std::vector<std::vector<PointData>>& results,
+                 std::vector<std::vector<double>>& wall_ms) {
+  const int workers =
+      std::min(resolveWorkers(ropt.jobs),
+               static_cast<int>(std::max<size_t>(queue.size(), 1)));
+  std::deque<size_t> pending;
+  for (size_t i = 0; i < queue.size(); ++i) pending.push_back(i);
+  std::vector<int> salt(queue.size(), 0);
+  std::vector<IsolateChild> active;
+  std::mutex io_mu;  // single-threaded here; reused for printProgress's API
+  size_t finished = 0;
+  bool aborted = false;
+
+  auto finalize = [&](IsolateChild& c, int wait_status) {
+    const Slot s = queue[c.qi];
+    const Job& j = plans[s.exp].jobs[s.job];
+    PointData p = childOutcome(c, wait_status);
+    const double wall = msSince(c.start);
+    if (retryEligible(j, p, c.salt, ropt)) {
+      salt[c.qi] = c.salt + 1;
+      pending.push_front(c.qi);  // retry before fresh work: fail fast
+      return;
+    }
+    p.retries = c.salt;
+    results[s.exp][s.job] = std::move(p);
+    wall_ms[s.exp][s.job] += wall;
+    finished++;
+    if (ropt.progress) {
+      printProgress(io_mu, finished, queue.size(), exps[s.exp]->name, j,
+                    wall_ms[s.exp][s.job], results[s.exp][s.job]);
+    }
+  };
+
+  while (!pending.empty() || !active.empty()) {
+    if (stopRequested(ropt) && !aborted) {
+      // Flush policy on SIGINT/SIGTERM: everything already finalized is
+      // kept; in-flight children are killed and left not-run (a killed
+      // child is an interruption artifact, not a real crash), so --resume
+      // reruns them.
+      aborted = true;
+      pending.clear();
+      for (IsolateChild& c : active) ::kill(c.pid, SIGKILL);
+    }
+    while (!aborted && static_cast<int>(active.size()) < workers &&
+           !pending.empty()) {
+      const size_t qi = pending.front();
+      pending.pop_front();
+      const Slot s = queue[qi];
+      spawnChild(plans[s.exp].jobs[s.job], qi, salt[qi],
+                 ropt.point_timeout_s, active);
+    }
+    if (active.empty()) break;
+
+    // Poll for output/EOF, bounded so deadlines and stop requests are
+    // noticed promptly.
+    std::vector<pollfd> fds(active.size());
+    for (size_t i = 0; i < active.size(); ++i) {
+      fds[i] = {active[i].fd, POLLIN, 0};
+    }
+    int timeout_ms = 200;
+    const auto now = Clock::now();
+    for (const IsolateChild& c : active) {
+      if (!c.has_deadline) continue;
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            c.deadline - now)
+                            .count();
+      timeout_ms = std::min<int>(
+          timeout_ms, static_cast<int>(std::max<long long>(0, left)));
+    }
+    const int rc = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (rc < 0 && errno != EINTR) {
+      std::perror("natle: poll");
+      std::abort();
+    }
+
+    const auto after = Clock::now();
+    for (size_t i = 0; i < active.size();) {
+      IsolateChild& c = active[i];
+      if (!c.timed_out && c.has_deadline && after >= c.deadline &&
+          !aborted) {
+        c.timed_out = true;
+        ::kill(c.pid, SIGKILL);
+      }
+      bool reap = false;
+      if (fds[i].revents != 0) {
+        char buf[4096];
+        const ssize_t n = ::read(c.fd, buf, sizeof buf);
+        if (n > 0) {
+          c.buf.append(buf, static_cast<size_t>(n));
+        } else if (n == 0 || (n < 0 && errno != EINTR)) {
+          reap = true;  // EOF: child exited (or was killed)
+        }
+      }
+      if (reap) {
+        int wait_status = 0;
+        while (::waitpid(c.pid, &wait_status, 0) < 0 && errno == EINTR) {
+        }
+        ::close(c.fd);
+        if (!aborted) finalize(c, wait_status);
+        active.erase(active.begin() + static_cast<long>(i));
+        fds.erase(fds.begin() + static_cast<long>(i));
+        continue;
+      }
+      ++i;
+    }
+  }
 }
 
 }  // namespace
@@ -116,54 +401,43 @@ std::vector<ExperimentOutput> runExperiments(
   std::vector<Plan> plans(exps.size());
   std::vector<std::vector<PointData>> results(exps.size());
   std::vector<std::vector<double>> wall_ms(exps.size());
-  struct Slot {
-    size_t exp, job;
-  };
+  std::vector<size_t> resumed(exps.size(), 0);
   std::vector<Slot> queue;
   for (size_t ei = 0; ei < exps.size(); ++ei) {
     exps[ei]->plan(opt, plans[ei]);
     results[ei].resize(plans[ei].jobs.size());
     wall_ms[ei].resize(plans[ei].jobs.size(), 0);
+    const std::map<std::string, ResumePoint>* prior = nullptr;
+    if (ropt.resume != nullptr) {
+      const auto it = ropt.resume->find(exps[ei]->name);
+      if (it != ropt.resume->end()) prior = &it->second;
+    }
     for (size_t ji = 0; ji < plans[ei].jobs.size(); ++ji) {
+      // Everything starts "not run"; only finalized points change state, so
+      // an interrupted run renders exactly what completed.
+      results[ei][ji].status = PointStatus::kNotRun;
+      if (prior != nullptr) {
+        const auto it = prior->find(jobKey(plans[ei].jobs[ji]));
+        if (it != prior->end()) {
+          results[ei][ji] = it->second.data;
+          results[ei][ji].resumed_record = it->second.raw;
+          wall_ms[ei][ji] = it->second.wall_ms;
+          resumed[ei]++;
+          continue;
+        }
+      }
       queue.push_back({ei, ji});
     }
   }
 
-  // Shared pool over the flat job list; each worker pulls the next index.
   // Job order in the queue is irrelevant to output: results land in their
-  // preassigned slot and all rendering happens after the pool joins.
-  const int workers =
-      std::min(resolveWorkers(ropt.jobs),
-               static_cast<int>(std::max<size_t>(queue.size(), 1)));
-  std::atomic<size_t> next{0};
-  std::atomic<size_t> done{0};
-  std::mutex io_mu;
-  auto work = [&] {
-    for (;;) {
-      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= queue.size()) return;
-      const Slot s = queue[i];
-      const Job& j = plans[s.exp].jobs[s.job];
-      const auto t0 = Clock::now();
-      results[s.exp][s.job] = j.run();
-      wall_ms[s.exp][s.job] = msSince(t0);
-      const size_t finished = done.fetch_add(1) + 1;
-      if (ropt.progress) {
-        std::lock_guard<std::mutex> lk(io_mu);
-        std::fprintf(stderr, "[%4zu/%zu] %s %s x=%g trial=%d (%.2fs)\n",
-                     finished, queue.size(), exps[s.exp]->name,
-                     j.series.c_str(), j.x, j.trial,
-                     wall_ms[s.exp][s.job] / 1e3);
-      }
+  // preassigned slot and all rendering happens after the pool drains.
+  if (!queue.empty()) {
+    if (ropt.isolate) {
+      runIsolated(exps, plans, queue, ropt, results, wall_ms);
+    } else {
+      runPool(exps, plans, queue, ropt, results, wall_ms);
     }
-  };
-  if (workers <= 1) {
-    work();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (int t = 0; t < workers; ++t) pool.emplace_back(work);
-    for (auto& th : pool) th.join();
   }
 
   // Deterministic single-threaded rendering, in experiment order.
@@ -179,6 +453,18 @@ std::vector<ExperimentOutput> runExperiments(
                         wall_ms[ei]);
     o.n_jobs = plans[ei].jobs.size();
     o.n_records = rows.size();
+    o.n_resumed = resumed[ei];
+    for (size_t ji = 0; ji < plans[ei].jobs.size(); ++ji) {
+      const PointData& p = results[ei][ji];
+      if (p.status == PointStatus::kFailed) {
+        o.n_failed++;
+        o.failures.push_back({plans[ei].jobs[ji].series,
+                              plans[ei].jobs[ji].x, plans[ei].jobs[ji].trial,
+                              p.failure_kind});
+      } else if (p.status == PointStatus::kNotRun) {
+        o.n_not_run++;
+      }
+    }
     for (double ms : wall_ms[ei]) o.job_wall_ms += ms;
   }
   return out;

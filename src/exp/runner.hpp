@@ -5,18 +5,67 @@
 // self-contained, deterministic, single-threaded fiber run. Results are
 // stored by job index and rendered single-threaded afterwards, so the CSV
 // and JSON outputs are byte-identical for any worker count.
+//
+// Robustness layers on top of the pool:
+//   - a job that throws (sim::WatchdogError from a tripped livelock
+//     watchdog, or any std::exception) becomes a structured "failed" record
+//     instead of taking the process down;
+//   - isolate mode forks each point into its own process, so a hard crash
+//     (segfault, abort) or a wall-clock timeout is also just a failed
+//     record;
+//   - transient-flagged jobs get capped retry-with-reseed;
+//   - a StopToken (SIGINT/SIGTERM) stops dispatch, finishes or kills
+//     in-flight points, and leaves the rest "not run" so --resume can pick
+//     the sweep back up from the completed prefix.
 #pragma once
 
+#include <atomic>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "exp/pointio.hpp"
 
 namespace natle::exp {
 
+// Cooperative cancellation flag; safe to set from a signal handler.
+struct StopToken {
+  std::atomic<bool> flag{false};
+  void request() { flag.store(true, std::memory_order_relaxed); }
+  bool stopped() const { return flag.load(std::memory_order_relaxed); }
+};
+
 struct RunnerOptions {
-  int jobs = 1;           // worker threads; 0 = hardware concurrency
+  int jobs = 1;           // worker threads / concurrent children; 0 = all cores
   bool progress = false;  // per-job completion lines on stderr
+  // Fork each point into a throwaway child process. Crashes and timeouts
+  // become failed records instead of killing the sweep. The parent stays
+  // single-threaded (fork from a multithreaded process is unsafe); `jobs`
+  // bounds the number of concurrent children.
+  bool isolate = false;
+  // Wall-clock budget per point; overdue children are SIGKILLed and
+  // recorded as "timeout" failures. Isolate mode only (threads cannot be
+  // killed safely); 0 disables.
+  double point_timeout_s = 0;
+  // Extra attempts (with a reseed salt) for transient-flagged jobs whose
+  // first run fails. 0 disables retries.
+  int transient_retries = 0;
+  // When set, dispatch stops as soon as the flag goes up; completed points
+  // are still rendered and unstarted ones are marked not-run.
+  StopToken* stop = nullptr;
+  // Prior results keyed by experiment name then jobKey(); matching jobs are
+  // satisfied from the map (record text spliced verbatim) instead of rerun.
+  const std::map<std::string, std::map<std::string, ResumePoint>>* resume =
+      nullptr;
+};
+
+// One failed point, for the CLI failure summary.
+struct PointFailure {
+  std::string series;
+  double x = 0;
+  int trial = 0;
+  std::string kind;  // watchdog | deadlock | cycle_limit | exception | crash | timeout
 };
 
 struct ExperimentOutput {
@@ -26,6 +75,10 @@ struct ExperimentOutput {
                      // nondeterministic field (always last in each record)
   size_t n_jobs = 0;
   size_t n_records = 0;
+  size_t n_failed = 0;   // points recorded as structured failures
+  size_t n_not_run = 0;  // points skipped after a stop request
+  size_t n_resumed = 0;  // points satisfied from a --resume file
+  std::vector<PointFailure> failures;
   double job_wall_ms = 0;  // summed per-job wall time (CPU-work proxy)
 };
 

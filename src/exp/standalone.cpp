@@ -6,6 +6,7 @@
 #include <string>
 
 #include "exp/runner.hpp"
+#include "fault/fault.hpp"
 
 namespace natle::exp {
 
@@ -13,18 +14,33 @@ namespace {
 
 void printUsage(const char* prog, std::FILE* to) {
   std::fprintf(to,
-               "usage: %s [--full] [--jobs N] [--progress] [--help]\n"
+               "usage: %s [--full] [--jobs N] [--progress] [--fault SPEC]\n"
+               "       [--watchdog-ms N] [--help]\n"
                "  --full       denser thread axis, longer trials, 3 "
                "trials/point\n"
                "  --jobs N     run data points on N worker threads (0 = all "
                "host cores)\n"
                "  --progress   per-data-point completion lines on stderr\n"
+               "  --fault SPEC     inject a deterministic fault schedule "
+               "into every point\n"
+               "  --watchdog-ms N  fail any point making no progress for N "
+               "simulated ms\n"
                "environment:\n"
                "  NATLE_SIM_SCALE=<float>  scale simulated trial length\n",
                prog);
 }
 
 }  // namespace
+
+void printFailureSummary(const ExperimentOutput& o, std::FILE* to) {
+  if (o.n_failed == 0) return;
+  std::fprintf(to, "%s: %zu point(s) FAILED:\n", o.experiment->name,
+               o.n_failed);
+  for (const PointFailure& f : o.failures) {
+    std::fprintf(to, "  %s x=%g trial=%d: %s\n", f.series.c_str(), f.x,
+                 f.trial, f.kind.c_str());
+  }
+}
 
 int standaloneMain(const char* experiment_name, int argc, char** argv) {
   const char* prog = argc > 0 ? argv[0] : experiment_name;
@@ -59,6 +75,17 @@ int standaloneMain(const char* experiment_name, int argc, char** argv) {
         return 2;
       }
       ropt.jobs = static_cast<int>(n);
+    } else if (std::strncmp(a, "--fault=", 8) == 0) {
+      opt.fault_spec = a + 8;
+    } else if (std::strcmp(a, "--fault") == 0 && i + 1 < argc) {
+      opt.fault_spec = argv[++i];
+    } else if (std::strncmp(a, "--watchdog-ms=", 14) == 0 ||
+               (std::strcmp(a, "--watchdog-ms") == 0 && i + 1 < argc)) {
+      const char* v = a[13] == '=' ? a + 14 : argv[++i];
+      if (!workload::BenchOptions::parseScale(v, &opt.watchdog_ms)) {
+        std::fprintf(stderr, "invalid --watchdog-ms value: %s\n", v);
+        return 2;
+      }
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
       printUsage(prog, stdout);
       return 0;
@@ -77,6 +104,14 @@ int standaloneMain(const char* experiment_name, int argc, char** argv) {
       return 2;
     }
   }
+  if (!opt.fault_spec.empty()) {
+    fault::FaultSpec spec;
+    std::string err;
+    if (!fault::FaultSpec::parse(opt.fault_spec, &spec, &err)) {
+      std::fprintf(stderr, "invalid --fault spec: %s\n", err.c_str());
+      return 2;
+    }
+  }
 
   const Experiment* e = Registry::instance().find(experiment_name);
   if (e == nullptr) {
@@ -88,7 +123,8 @@ int standaloneMain(const char* experiment_name, int argc, char** argv) {
   std::fputs(out.csv.c_str(), stdout);
   std::fprintf(stderr, "%s: %zu data points, %zu rows, %.2fs simulated work\n",
                e->name, out.n_jobs, out.n_records, out.job_wall_ms / 1e3);
-  return 0;
+  printFailureSummary(out, stderr);
+  return out.n_failed > 0 ? 1 : 0;
 }
 
 }  // namespace natle::exp

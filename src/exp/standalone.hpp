@@ -4,11 +4,19 @@
 // registry shared with `natle-bench`.
 #pragma once
 
+#include <cstdio>
+
+#include "exp/runner.hpp"
+
 namespace natle::exp {
 
 // Runs the named registered experiment and prints its CSV to stdout.
-// Accepts --full, --jobs/-j N, --progress, --help; returns the process exit
-// code.
+// Accepts --full, --jobs/-j N, --progress, --fault, --watchdog-ms, --help;
+// returns the process exit code (nonzero when any point failed).
 int standaloneMain(const char* experiment_name, int argc, char** argv);
+
+// Per-experiment failed-point listing (series, x, trial, failure kind);
+// shared by the standalone binaries and natle-bench.
+void printFailureSummary(const ExperimentOutput& o, std::FILE* to);
 
 }  // namespace natle::exp

@@ -15,6 +15,17 @@ PointData runSetBenchPoint(const workload::SetBenchConfig& cfg) {
   return p;
 }
 
+SetSweep::SetSweep(const workload::BenchOptions& opt, int trials_override)
+    : trials_(trials_override >= 1 ? trials_override : (opt.full ? 3 : 1)),
+      trace_(opt.trace),
+      watchdog_ms_(opt.watchdog_ms) {
+  if (!opt.fault_spec.empty()) {
+    // CLI entry points validate the spec before planning; a failure here
+    // (impossible via the CLIs) just leaves faults disabled.
+    fault::FaultSpec::parse(opt.fault_spec, &fault_, nullptr);
+  }
+}
+
 void SetSweep::point(Plan& plan, std::string series, double x,
                      const workload::SetBenchConfig& cfg) {
   entries_.push_back({series, x, plan.jobs.size()});
@@ -22,6 +33,8 @@ void SetSweep::point(Plan& plan, std::string series, double x,
     workload::SetBenchConfig c = cfg;
     c.trials = 1;
     c.trace = trace_;
+    if (!c.fault.enabled() && fault_.enabled()) c.fault = fault_;
+    if (c.watchdog_ms <= 0 && watchdog_ms_ > 0) c.watchdog_ms = watchdog_ms_;
     // Same per-trial seed derivation runSetBench used internally, so a
     // sharded sweep reproduces the serial sweep's numbers exactly.
     c.seed = cfg.seed + 1000003ULL * static_cast<uint64_t>(t);
@@ -37,6 +50,18 @@ void SetSweep::point(Plan& plan, std::string series, double x,
       c.trace_raw = true;
       return workload::runSetBench(c).raw_trace;
     };
+    // Failures under injected adversity (or a tripped watchdog) are often
+    // seed-specific; allow the runner's capped retry-with-reseed. The salt
+    // shifts both the workload seed and the fault-stream seed.
+    j.transient = true;
+    j.run_reseeded = [c](int salt) {
+      workload::SetBenchConfig rc = c;
+      rc.seed = c.seed + 0x5bd1e995ULL * static_cast<uint64_t>(salt);
+      if (rc.fault.enabled()) {
+        rc.fault.seed += static_cast<uint64_t>(salt);
+      }
+      return runSetBenchPoint(rc);
+    };
     plan.jobs.push_back(std::move(j));
   }
 }
@@ -50,12 +75,19 @@ std::vector<SetSweep::Agg> SetSweep::aggregate(
     a.series = e.series;
     a.x = e.x;
     double mops_sum = 0;
+    int ok_trials = 0;
     for (int t = 0; t < trials_; ++t) {
       const PointData& p = results.at(e.first_job + static_cast<size_t>(t));
+      // Failed or skipped trials contribute nothing; the point aggregates
+      // whatever completed, and vanishes from the CSV if nothing did (its
+      // failure is still a structured record in the JSON output).
+      if (p.status != PointStatus::kOk) continue;
       mops_sum += p.value;
       a.r.stats += p.stats;
+      ok_trials++;
     }
-    a.r.mops = mops_sum / trials_;
+    if (ok_trials == 0) continue;
+    a.r.mops = mops_sum / ok_trials;
     // Derived ratios recomputed from the summed counters, mirroring
     // runSetBench's aggregation across its internal trial loop.
     const auto& s = a.r.stats;

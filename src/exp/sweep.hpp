@@ -22,11 +22,10 @@ class SetSweep {
   explicit SetSweep(int trials) : trials_(trials < 1 ? 1 : trials) {}
 
   // Standard bench-option mapping: 3 trials under --full (1 otherwise,
-  // unless `trials_override` pins it) and trace propagation into every
-  // planned config. `trials_override` < 1 means "derive from opt.full".
-  explicit SetSweep(const workload::BenchOptions& opt, int trials_override = 0)
-      : trials_(trials_override >= 1 ? trials_override : (opt.full ? 3 : 1)),
-        trace_(opt.trace) {}
+  // unless `trials_override` pins it) and trace/fault/watchdog propagation
+  // into every planned config. `trials_override` < 1 means "derive from
+  // opt.full".
+  explicit SetSweep(const workload::BenchOptions& opt, int trials_override = 0);
 
   // Queue all trials of one data point onto the plan. `cfg.trials` is
   // ignored; this class owns trial expansion.
@@ -53,6 +52,10 @@ class SetSweep {
   std::vector<Entry> entries_;
   int trials_;
   bool trace_ = false;
+  // CLI-level adversity, applied to every planned point that does not carry
+  // its own (a point's explicit cfg.fault/cfg.watchdog_ms wins).
+  fault::FaultSpec fault_;
+  double watchdog_ms_ = 0;
 };
 
 }  // namespace natle::exp

@@ -1,0 +1,291 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+#include <cmath>
+
+namespace natle::fault {
+
+namespace {
+
+bool parseDoubleField(const std::string& v, double* out) {
+  const char* b = v.data();
+  const char* e = b + v.size();
+  double d = 0;
+  auto [p, ec] = std::from_chars(b, e, d);
+  if (ec != std::errc() || p != e || !std::isfinite(d)) return false;
+  *out = d;
+  return true;
+}
+
+bool parseU64Field(const std::string& v, uint64_t* out) {
+  const char* b = v.data();
+  const char* e = b + v.size();
+  uint64_t u = 0;
+  auto [p, ec] = std::from_chars(b, e, u);
+  if (ec != std::errc() || p != e) return false;
+  *out = u;
+  return true;
+}
+
+bool parseIntField(const std::string& v, int* out) {
+  const char* b = v.data();
+  const char* e = b + v.size();
+  int i = 0;
+  auto [p, ec] = std::from_chars(b, e, i);
+  if (ec != std::errc() || p != e) return false;
+  *out = i;
+  return true;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos <= s.size()) {
+    size_t next = s.find(sep, pos);
+    if (next == std::string::npos) next = s.size();
+    if (next > pos) out.push_back(s.substr(pos, next - pos));
+    pos = next + 1;
+  }
+  return out;
+}
+
+bool fail(std::string* err, const std::string& msg) {
+  if (err != nullptr) *err = msg;
+  return false;
+}
+
+// Shortest round-trippable decimal form, matching the JSON writer's style.
+std::string numToString(double d) {
+  char buf[64];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  assert(ec == std::errc());
+  return std::string(buf, p);
+}
+
+std::string numToString(uint64_t u) {
+  char buf[32];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), u);
+  assert(ec == std::errc());
+  return std::string(buf, p);
+}
+
+void appendBurst(std::string* out, const BurstCfg& b) {
+  *out += ",period_ms=" + numToString(b.period_ms);
+  *out += ",duration_ms=" + numToString(b.duration_ms);
+  *out += ",jitter=" + numToString(b.jitter);
+}
+
+}  // namespace
+
+bool FaultSpec::parse(const std::string& spec, FaultSpec* out, std::string* err) {
+  FaultSpec r;
+  for (const std::string& seg : split(spec, ';')) {
+    const size_t colon = seg.find(':');
+    if (colon == std::string::npos) {
+      // The only bare segment is seed=N.
+      const size_t eq = seg.find('=');
+      if (eq == std::string::npos || seg.substr(0, eq) != "seed") {
+        return fail(err, "fault spec: expected 'channel:k=v,...' or 'seed=N', got '" +
+                             seg + "'");
+      }
+      if (!parseU64Field(seg.substr(eq + 1), &r.seed)) {
+        return fail(err, "fault spec: bad seed value in '" + seg + "'");
+      }
+      continue;
+    }
+    const std::string chan = seg.substr(0, colon);
+    BurstCfg* burst = nullptr;
+    if (chan == "storm") {
+      burst = &r.storm;
+    } else if (chan == "squeeze") {
+      burst = &r.squeeze;
+    } else if (chan == "link") {
+      burst = &r.link;
+    } else if (chan == "stall") {
+      burst = &r.stall;
+    } else {
+      return fail(err, "fault spec: unknown channel '" + chan + "'");
+    }
+    for (const std::string& kv : split(seg.substr(colon + 1), ',')) {
+      const size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        return fail(err, "fault spec: expected k=v in '" + chan + "', got '" + kv + "'");
+      }
+      const std::string k = kv.substr(0, eq);
+      const std::string v = kv.substr(eq + 1);
+      bool ok = true;
+      if (k == "period_ms") {
+        ok = parseDoubleField(v, &burst->period_ms) && burst->period_ms >= 0;
+      } else if (k == "duration_ms") {
+        ok = parseDoubleField(v, &burst->duration_ms) && burst->duration_ms >= 0;
+      } else if (k == "jitter") {
+        ok = parseDoubleField(v, &burst->jitter) && burst->jitter >= 0 &&
+             burst->jitter < 1;
+      } else if (chan == "storm" && k == "rate") {
+        ok = parseDoubleField(v, &r.storm_rate) && r.storm_rate >= 0;
+      } else if (chan == "storm" && k == "socket") {
+        ok = parseIntField(v, &r.storm_socket);
+      } else if (chan == "squeeze" && k == "ways") {
+        uint64_t w = 0;
+        ok = parseU64Field(v, &w) && w <= 64;
+        if (ok) r.squeeze_ways = static_cast<uint32_t>(w);
+      } else if (chan == "link" && k == "extra") {
+        ok = parseU64Field(v, &r.link_extra);
+      } else if (chan == "stall" && k == "cycles") {
+        ok = parseU64Field(v, &r.stall_cycles);
+      } else {
+        return fail(err, "fault spec: unknown key '" + k + "' for channel '" + chan +
+                             "'");
+      }
+      if (!ok) {
+        return fail(err, "fault spec: bad value '" + v + "' for '" + chan + ":" + k +
+                             "'");
+      }
+    }
+  }
+  *out = r;
+  return true;
+}
+
+std::string FaultSpec::toSpecString() const {
+  std::string out;
+  auto sep = [&out] {
+    if (!out.empty()) out += ';';
+  };
+  if (storm_rate > 0 || storm.enabled()) {
+    sep();
+    out += "storm:rate=" + numToString(storm_rate);
+    if (storm_socket >= 0) out += ",socket=" + numToString(uint64_t(storm_socket));
+    appendBurst(&out, storm);
+  }
+  if (squeeze_ways > 0 || squeeze.enabled()) {
+    sep();
+    out += "squeeze:ways=" + numToString(uint64_t(squeeze_ways));
+    appendBurst(&out, squeeze);
+  }
+  if (link_extra > 0 || link.enabled()) {
+    sep();
+    out += "link:extra=" + numToString(link_extra);
+    appendBurst(&out, link);
+  }
+  if (stall_cycles > 0 || stall.enabled()) {
+    sep();
+    out += "stall:cycles=" + numToString(stall_cycles);
+    appendBurst(&out, stall);
+  }
+  sep();
+  out += "seed=" + numToString(seed);
+  return out;
+}
+
+WindowSeq::WindowSeq(const BurstCfg& cfg, double ghz, uint64_t seed)
+    : enabled_(cfg.enabled()),
+      period_(static_cast<uint64_t>(cfg.period_ms * 1e6 * ghz)),
+      duration_(static_cast<uint64_t>(cfg.duration_ms * 1e6 * ghz)),
+      jitter_(cfg.jitter),
+      rng_(seed) {
+  if (period_ == 0) period_ = 1;
+  if (duration_ == 0) duration_ = 1;
+  if (enabled_) next_start_ = jittered(period_);
+}
+
+uint64_t WindowSeq::jittered(uint64_t base) {
+  // factor uniform in [1-j, 1+j); base >= 1 so the result stays >= 1.
+  const double factor = 1.0 - jitter_ + 2.0 * jitter_ * rng_.uniform();
+  const uint64_t v = static_cast<uint64_t>(static_cast<double>(base) * factor);
+  return v > 0 ? v : 1;
+}
+
+void WindowSeq::extendTo(uint64_t t) {
+  while (next_start_ <= t) {
+    const uint64_t start = next_start_;
+    const uint64_t end = start + jittered(duration_);
+    windows_.push_back(Window{start, end});
+    const uint64_t gap = jittered(period_);
+    next_start_ = std::max(end, start + gap);
+    if (next_start_ <= start) next_start_ = end;  // overflow paranoia
+  }
+}
+
+bool WindowSeq::covers(uint64_t t) {
+  if (!enabled_) return false;
+  extendTo(t);
+  // First window with end > t; covered iff it started at or before t.
+  auto it = std::upper_bound(
+      windows_.begin(), windows_.end(), t,
+      [](uint64_t v, const Window& w) { return v < w.end; });
+  return it != windows_.end() && it->start <= t;
+}
+
+uint64_t WindowSeq::overlap(uint64_t t0, uint64_t t1) {
+  if (!enabled_ || t1 <= t0) return 0;
+  extendTo(t1);
+  auto it = std::upper_bound(
+      windows_.begin(), windows_.end(), t0,
+      [](uint64_t v, const Window& w) { return v < w.end; });
+  uint64_t total = 0;
+  for (; it != windows_.end() && it->start < t1; ++it) {
+    const uint64_t lo = std::max(it->start, t0);
+    const uint64_t hi = std::min(it->end, t1);
+    if (hi > lo) total += hi - lo;
+  }
+  return total;
+}
+
+FaultSchedule::FaultSchedule(const FaultSpec& spec, const sim::MachineConfig& cfg)
+    : spec_(spec) {
+  if (spec_.storm.enabled() && spec_.storm_rate > 0) {
+    storm_.reserve(cfg.sockets);
+    for (int s = 0; s < cfg.sockets; ++s) {
+      storm_.emplace_back(spec_.storm, cfg.ghz,
+                          sim::streamSeed(spec_.seed, sim::kStreamFaultStorm, s));
+    }
+  }
+  if (spec_.squeeze.enabled() && spec_.squeeze_ways > 0) {
+    const int ncores = cfg.coresTotal();
+    squeeze_.reserve(ncores);
+    for (int c = 0; c < ncores; ++c) {
+      squeeze_.emplace_back(spec_.squeeze, cfg.ghz,
+                            sim::streamSeed(spec_.seed, sim::kStreamFaultSqueeze, c));
+    }
+  }
+  if (spec_.link.enabled() && spec_.link_extra > 0) {
+    link_ = WindowSeq(spec_.link, cfg.ghz,
+                      sim::streamSeed(spec_.seed, sim::kStreamFaultLink, 0));
+  }
+  if (spec_.stall.enabled() && spec_.stall_cycles > 0) {
+    stall_ = WindowSeq(spec_.stall, cfg.ghz,
+                       sim::streamSeed(spec_.seed, sim::kStreamFaultStall, 0));
+  }
+}
+
+double FaultSchedule::stormHazard(int socket, uint64_t t0, uint64_t t1) {
+  if (storm_.empty() || socket < 0 || socket >= static_cast<int>(storm_.size())) {
+    return 0;
+  }
+  if (spec_.storm_socket >= 0 && socket != spec_.storm_socket) return 0;
+  const uint64_t covered = storm_[socket].overlap(t0, t1);
+  return covered == 0 ? 0 : spec_.storm_rate * static_cast<double>(covered);
+}
+
+uint32_t FaultSchedule::maskedWays(int core_global, uint64_t now) {
+  if (squeeze_.empty() || core_global < 0 ||
+      core_global >= static_cast<int>(squeeze_.size())) {
+    return 0;
+  }
+  return squeeze_[core_global].covers(now) ? spec_.squeeze_ways : 0;
+}
+
+uint64_t FaultSchedule::linkPenalty(uint64_t now) {
+  if (spec_.link_extra == 0) return 0;
+  return link_.covers(now) ? spec_.link_extra : 0;
+}
+
+uint64_t FaultSchedule::lockHolderStall(uint64_t now) {
+  if (spec_.stall_cycles == 0) return 0;
+  return stall_.covers(now) ? spec_.stall_cycles : 0;
+}
+
+}  // namespace natle::fault

@@ -1,0 +1,145 @@
+// Deterministic fault injection for the simulated machine.
+//
+// A FaultSchedule perturbs the model through existing hooks — it never adds
+// its own coherence or scheduling behaviour, it only modulates parameters the
+// model already has:
+//
+//   storm    bursty per-socket spurious-abort hazard (extra rate folded into
+//            ThreadCtx::spuriousHazard's Poisson exponent)
+//   squeeze  transient per-core L1 capacity squeeze: masks ways to model
+//            SMT-sibling / prefetcher pressure (L1Cache::insert)
+//   link     NUMA latency spikes: extra occupancy per cross-socket transfer
+//            (Env::linkDelay via Directory)
+//   stall    lock-holder stall: extra cycles charged inside the TLE/NATLE
+//            fallback critical section, manufacturing lemming cascades
+//
+// All windows are generated lazily from dedicated RNG streams derived via
+// sim::streamSeed, entirely independent of workload streams: a run with the
+// subsystem compiled in but no fault spec is byte-identical to one without
+// it, and a given (spec, seed) always yields the same windows regardless of
+// query order or --jobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/rng.hpp"
+
+namespace natle::fault {
+
+// A bursty on/off pattern: windows of `duration_ms` open roughly every
+// `period_ms`, both jittered by ±jitter (relative). period_ms == 0 disables
+// the channel.
+struct BurstCfg {
+  double period_ms = 0;
+  double duration_ms = 0;
+  double jitter = 0.5;  // relative jitter on period and duration, in [0, 1)
+
+  bool enabled() const { return period_ms > 0 && duration_ms > 0; }
+};
+
+// Parsed fault specification. Built from a compact CLI/JSON string:
+//
+//   storm:rate=2e-6,period_ms=0.3,duration_ms=0.08;stall:cycles=150000,
+//   period_ms=1.0,duration_ms=0.2;seed=7
+//
+// Segments are ';'-separated; each names a channel followed by ':' and
+// comma-separated k=v pairs, except the bare `seed=N` segment. Unknown
+// channels or keys are errors (reported via FaultSpec::parse).
+struct FaultSpec {
+  BurstCfg storm;
+  double storm_rate = 0;  // extra spurious-abort hazard per cycle in a window
+  int storm_socket = -1;  // -1 = all sockets
+
+  BurstCfg squeeze;
+  uint32_t squeeze_ways = 0;  // L1 ways masked while a window is open
+
+  BurstCfg link;
+  uint64_t link_extra = 0;  // extra link-occupancy cycles per transfer
+
+  BurstCfg stall;
+  uint64_t stall_cycles = 0;  // extra cycles charged to a fallback lock holder
+
+  uint64_t seed = 1;
+
+  bool enabled() const {
+    return (storm.enabled() && storm_rate > 0) ||
+           (squeeze.enabled() && squeeze_ways > 0) ||
+           (link.enabled() && link_extra > 0) ||
+           (stall.enabled() && stall_cycles > 0);
+  }
+
+  // Parse `spec`; returns false and sets *err on malformed input.
+  static bool parse(const std::string& spec, FaultSpec* out, std::string* err);
+
+  // Canonical round-trippable form: parse(toSpecString()) reproduces *this.
+  // Used when embedding the spec in config JSON.
+  std::string toSpecString() const;
+};
+
+// A deterministic, lazily extended sequence of disjoint [start, end) windows
+// in simulated cycles. Generation consumes only this sequence's own RNG, and
+// extendTo() is monotone in what it materialises, so covers()/overlap()
+// answers are independent of query order.
+class WindowSeq {
+ public:
+  WindowSeq() = default;
+  WindowSeq(const BurstCfg& cfg, double ghz, uint64_t seed);
+
+  // True iff `t` lies inside a window.
+  bool covers(uint64_t t);
+  // Total cycles of [t0, t1) covered by windows.
+  uint64_t overlap(uint64_t t0, uint64_t t1);
+
+ private:
+  void extendTo(uint64_t t);
+  uint64_t jittered(uint64_t base);
+
+  struct Window {
+    uint64_t start;
+    uint64_t end;
+  };
+
+  bool enabled_ = false;
+  uint64_t period_ = 0;
+  uint64_t duration_ = 0;
+  double jitter_ = 0;
+  uint64_t next_start_ = 0;  // earliest start of the next ungenerated window
+  std::vector<Window> windows_;
+  sim::Rng rng_;
+};
+
+// The queryable schedule a trial installs into its Env. Per-socket storm
+// streams, per-core squeeze streams, one link stream and one stall stream,
+// all derived from (spec.seed, domain, index).
+class FaultSchedule {
+ public:
+  FaultSchedule(const FaultSpec& spec, const sim::MachineConfig& cfg);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  // Extra spurious-abort hazard (dimensionless Poisson exponent contribution)
+  // accumulated over simulated [t0, t1) on `socket`.
+  double stormHazard(int socket, uint64_t t0, uint64_t t1);
+
+  // L1 ways currently masked on `core_global` (0 outside windows). Clamped
+  // by the caller to ways-1.
+  uint32_t maskedWays(int core_global, uint64_t now);
+
+  // Extra link occupancy per cross-socket transfer at `now`.
+  uint64_t linkPenalty(uint64_t now);
+
+  // Extra cycles a fallback-lock holder must burn if it acquired at `now`.
+  uint64_t lockHolderStall(uint64_t now);
+
+ private:
+  FaultSpec spec_;
+  std::vector<WindowSeq> storm_;    // per socket
+  std::vector<WindowSeq> squeeze_;  // per core
+  WindowSeq link_;
+  WindowSeq stall_;
+};
+
+}  // namespace natle::fault

@@ -69,6 +69,7 @@ void ThreadCtx::checkPendingAbort() {
 void ThreadCtx::spuriousHazard() {
   const uint64_t elapsed = st_->clock - txn_.last_hazard_clock;
   if (elapsed == 0) return;
+  const uint64_t prev = txn_.last_hazard_clock;
   txn_.last_hazard_clock = st_->clock;
   // Hazards arrive as a Poisson process with the configured per-cycle rate;
   // the hit probability over `elapsed` cycles is 1 - e^(-rate * elapsed).
@@ -76,8 +77,13 @@ void ThreadCtx::spuriousHazard() {
   // longer than 1/rate.)
   // expm1 is too slow for this per-access path, so the typical tiny
   // exponent takes the two-term series, exact to ~x^3/6.
-  const double x = env_.cfg().spurious_abort_per_cycle *
-                   static_cast<double>(elapsed);
+  double x = env_.cfg().spurious_abort_per_cycle * static_cast<double>(elapsed);
+  // An injected abort storm folds into the same Poisson exponent and the
+  // same RNG draw below, so the workload stream advances identically whether
+  // or not a storm window is open.
+  if (env_.faults_ != nullptr) {
+    x += env_.faults_->stormHazard(st_->slot.socket, prev, st_->clock);
+  }
   const double p = x < 1e-4 ? x - 0.5 * x * x : -std::expm1(-x);
   if (p > 0 && st_->rng.chance(p)) {
     selfAbort(AbortReason::kSpurious, false, 0);
@@ -202,7 +208,7 @@ void ThreadCtx::accessRead(const void* addr) {
     }
     s.addSharer(sock);
     chargeMem(lat);
-    const auto ir = l1_->insert(line, &s, tx);
+    const auto ir = l1_->insert(line, &s, tx, env_.faultMaskedWays(*st_));
     if (ir.capacity_victim != nullptr) handleCapacityEviction(ir);
     if (tx != nullptr) registerRead(line, s);
   }
@@ -300,7 +306,7 @@ void ThreadCtx::accessWrite(void* addr, uint64_t bits, uint8_t size) {
   s.owner_socket = static_cast<int8_t>(sock);
   s.sharer_mask = static_cast<uint16_t>(1u << sock);
 
-  const auto ir = l1_->insert(line, &s, tx);
+  const auto ir = l1_->insert(line, &s, tx, env_.faultMaskedWays(*st_));
   if (ir.capacity_victim != nullptr) handleCapacityEviction(ir);
 
   if (tx != nullptr && s.tx_writer != &txn_) {
@@ -375,6 +381,7 @@ void ThreadCtx::txCommit() {
     }
   }
   if (env_.debug_on_commit) env_.debug_on_commit(*this);
+  env_.machine_.noteProgress(st_->clock);
   env_.machine_.maybeYield(*st_);
 }
 
@@ -418,6 +425,9 @@ void ThreadCtx::free(void* p) {
 
 bool ThreadCtx::opBoundary() {
   if (setupMode()) return false;
+  // Completing an operation is progress even without transactions (plain
+  // lock-based or lock-free sync modes must not trip the watchdog).
+  env_.machine_.noteProgress(st_->clock);
   if (env_.machine_.maybeMigrate(*st_)) {
     l1_ = &env_.l1s_[st_->slot.core_global];
     return true;
@@ -463,6 +473,78 @@ TxStats Env::totals() const {
   TxStats t;
   for (const auto& s : stats_) t += s;
   return t;
+}
+
+void Env::installFaults(const fault::FaultSpec& spec) {
+  if (!spec.enabled()) return;
+  faults_ = std::make_unique<fault::FaultSchedule>(spec, cfg());
+  dir_.setFaults(faults_.get());
+}
+
+void Env::enableWatchdog(uint64_t budget_cycles) {
+  machine_.enableWatchdog(budget_cycles,
+                          [this](std::string& d) { appendDiagnostic(d); });
+}
+
+uint64_t Env::registerDiag(std::function<void(std::string&)> fn) {
+  const uint64_t id = next_diag_id_++;
+  diags_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void Env::unregisterDiag(uint64_t id) {
+  for (auto it = diags_.begin(); it != diags_.end(); ++it) {
+    if (it->first == id) {
+      diags_.erase(it);
+      return;
+    }
+  }
+}
+
+void Env::appendDiagnostic(std::string& out) {
+  // Everything appended here must be deterministic: line identifiers go
+  // through the allocator's stable ids (never raw addresses), iteration
+  // orders are tid order and registration order.
+  auto appendLines = [this, &out](const char* label,
+                                  const std::vector<uint64_t>& lines) {
+    if (lines.empty()) return;
+    out += label;
+    const size_t shown = lines.size() < 16 ? lines.size() : 16;
+    for (size_t i = 0; i < shown; ++i) {
+      out += ' ';
+      out += std::to_string(alloc_.stableLineId(lines[i]));
+    }
+    if (lines.size() > shown) {
+      out += " ...(+" + std::to_string(lines.size() - shown) + ")";
+    }
+    out += '\n';
+  };
+  out += "in-flight transactions: " + std::to_string(in_flight_count_) + "\n";
+  for (auto& ctx : ctxs_) {
+    Txn& t = ctx->txn_;
+    if (!t.in_flight) continue;
+    out += "  tid=" + std::to_string(ctx->tid()) +
+           " attempt=" + std::to_string(t.attempt_in_seq) +
+           " begin_clock=" + std::to_string(t.begin_clock) +
+           " reads=" + std::to_string(t.read_lines.size()) +
+           " writes=" + std::to_string(t.write_lines.size()) + "\n";
+    appendLines("    read lines:", t.read_lines);
+    appendLines("    write lines:", t.write_lines);
+  }
+  for (auto& [id, fn] : diags_) fn(out);
+  if (tracer_ != nullptr && tracer_->keepsEvents() && tracer_->eventCount() > 0) {
+    const std::string all = tracer_->dumpJsonl();
+    size_t start = 0;
+    int newlines = 0;
+    for (size_t i = all.size(); i-- > 0;) {
+      if (all[i] == '\n' && ++newlines == 21) {
+        start = i + 1;
+        break;
+      }
+    }
+    out += "trace tail:\n";
+    out += all.substr(start);
+  }
 }
 
 void Env::auditConsistency(const char* where) {

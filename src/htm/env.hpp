@@ -10,6 +10,7 @@
 #include <memory>
 #include <type_traits>
 
+#include "fault/fault.hpp"
 #include "htm/stats.hpp"
 #include "htm/txn.hpp"
 #include "mem/alloc.hpp"
@@ -244,12 +245,45 @@ class Env {
   obs::Tracer* tracer() const { return tracer_; }
 
   // Cross-socket link bandwidth model: called for every remote transfer.
-  // Returns the queueing delay at time `now` and reserves the link.
+  // Returns the queueing delay at time `now` and reserves the link. During a
+  // fault-injected NUMA spike window the transfer both pays extra latency and
+  // occupies the link longer (queueing amplification, as on real hardware).
   uint64_t linkDelay(uint64_t now) {
+    const uint64_t spike = dir_.interconnectPenalty(now);
     const uint64_t start = now > link_free_ ? now : link_free_;
-    link_free_ = start + cfg().link_occupancy;
-    return start - now;
+    link_free_ = start + cfg().link_occupancy + spike;
+    return start - now + spike;
   }
+
+  // --- fault injection -----------------------------------------------------
+  // Install a deterministic fault schedule for this Env's trial. Call before
+  // spawning workers. All fault randomness comes from streams independent of
+  // the workload streams; with no schedule installed behaviour is
+  // byte-identical to a build without the subsystem.
+  void installFaults(const fault::FaultSpec& spec);
+  fault::FaultSchedule* faults() { return faults_.get(); }
+  // L1 ways currently masked for `st`'s core (0 without faults).
+  uint32_t faultMaskedWays(const sim::SimThread& st) {
+    return faults_ == nullptr
+               ? 0
+               : faults_->maskedWays(st.slot.core_global, st.clock);
+  }
+
+  // --- livelock watchdog ---------------------------------------------------
+  // Arm the machine watchdog with an Env-aware diagnostic hook (in-flight
+  // transaction footprints, registered lock diagnostics, trace tail).
+  void enableWatchdog(uint64_t budget_cycles);
+  void setCycleLimit(uint64_t limit_cycles) {
+    machine_.setCycleLimit(limit_cycles);
+  }
+  // Forward a progress event (commit, op boundary, lock release).
+  void noteProgress(uint64_t clock) { machine_.noteProgress(clock); }
+  // Locks register a diagnostic appender so a watchdog dump can name the
+  // owner of the fallback lock. Returns an id for unregisterDiag.
+  uint64_t registerDiag(std::function<void(std::string&)> fn);
+  void unregisterDiag(uint64_t id);
+  // The Env-level portion of the watchdog diagnostic (deterministic).
+  void appendDiagnostic(std::string& out);
 
   // Number of transactions currently in flight. When zero, raw memory holds
   // only committed state (useful for debug auditing).
@@ -288,6 +322,9 @@ class Env {
   uint64_t link_free_ = 0;
   bool debug_audit_ = false;
   obs::Tracer* tracer_ = nullptr;
+  std::unique_ptr<fault::FaultSchedule> faults_;
+  std::vector<std::pair<uint64_t, std::function<void(std::string&)>>> diags_;
+  uint64_t next_diag_id_ = 1;
 };
 
 }  // namespace natle::htm

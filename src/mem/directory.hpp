@@ -5,6 +5,7 @@
 
 #include <unordered_map>
 
+#include "fault/fault.hpp"
 #include "mem/line.hpp"
 
 namespace natle::mem {
@@ -12,6 +13,16 @@ namespace natle::mem {
 class Directory {
  public:
   Directory() { map_.reserve(1 << 16); }
+
+  // Attach (or detach, with nullptr) a fault schedule. While attached, the
+  // interconnect charges an extra per-transfer penalty during NUMA latency
+  // spike windows. Not owned.
+  void setFaults(fault::FaultSchedule* f) { faults_ = f; }
+
+  // Extra cycles a cross-socket transfer issued at `now` must pay.
+  uint64_t interconnectPenalty(uint64_t now) {
+    return faults_ != nullptr ? faults_->linkPenalty(now) : 0;
+  }
 
   // Get-or-create the state for a line. New lines start uncached in DRAM at
   // the given home socket.
@@ -40,6 +51,7 @@ class Directory {
 
  private:
   std::unordered_map<uint64_t, LineState> map_;
+  fault::FaultSchedule* faults_ = nullptr;
 };
 
 }  // namespace natle::mem

@@ -80,13 +80,22 @@ class L1Cache {
   // line: the victim transaction is reported so the caller can abort it
   // (preferring a victim other than `tx` — the sibling's transaction — and
   // falling back to self-abort, a genuine overflow).
-  InsertResult insert(uint64_t line, LineState* state, TxBase* tx) {
+  //
+  // `masked_ways` models transient external pressure (fault injection's
+  // capacity squeeze): that many high-index ways are unavailable as victim
+  // candidates, shrinking effective associativity. Lines already resident in
+  // a masked way stay resident and hittable — the squeeze restricts where
+  // *new* lines can land, which is what turns a wide footprint into transient
+  // capacity aborts.
+  InsertResult insert(uint64_t line, LineState* state, TxBase* tx,
+                      uint32_t masked_ways = 0) {
     const uint32_t set_idx = static_cast<uint32_t>(line & (sets_ - 1));
     Entry* set = &entries_[set_idx * ways_];
     SiblingSlot* sib = &siblings_[set_idx * ways_];
     InsertResult r;
     // A still-valid entry for this very line: keep it and add `tx` as an
     // owner instead of re-installing (which would drop a sibling's pin).
+    // Scans every way, masked or not: residency is unaffected by a squeeze.
     for (uint32_t w = 0; w < ways_; ++w) {
       Entry& e = set[w];
       if (e.line == line && e.state != nullptr && e.version == e.state->version) {
@@ -95,9 +104,10 @@ class L1Cache {
         return r;
       }
     }
+    const uint32_t avail = ways_ > masked_ways ? ways_ - masked_ways : 1;
     uint32_t victim = ways_;
     // Pass 1: invalid or empty way (a stale entry for this line qualifies).
-    for (uint32_t w = 0; w < ways_; ++w) {
+    for (uint32_t w = 0; w < avail; ++w) {
       Entry& e = set[w];
       if (e.state == nullptr || e.version != e.state->version || e.line == line) {
         victim = w;
@@ -107,8 +117,8 @@ class L1Cache {
     // Pass 2: a way no live transaction has pinned.
     if (victim == ways_) {
       uint32_t start = rr_[set_idx]++;
-      for (uint32_t i = 0; i < ways_; ++i) {
-        const uint32_t w = (start + i) % ways_;
+      for (uint32_t i = 0; i < avail; ++i) {
+        const uint32_t w = (start + i) % avail;
         if (!slotLive(set[w].tx, set[w].tx_seq) &&
             !slotLive(sib[w].tx2, sib[w].tx2_seq)) {
           victim = w;
@@ -120,14 +130,14 @@ class L1Cache {
       // Every way is pinned by a live transaction: evict one. Prefer a line
       // `tx` itself has no stake in (the hyperthread sibling's) over our own.
       uint32_t start = rr_[set_idx]++;
-      for (uint32_t i = 0; i < ways_; ++i) {
-        const uint32_t w = (start + i) % ways_;
+      for (uint32_t i = 0; i < avail; ++i) {
+        const uint32_t w = (start + i) % avail;
         if (!holds(set[w], sib[w], tx)) {
           victim = w;
           break;
         }
       }
-      if (victim == ways_) victim = start % ways_;  // self-abort
+      if (victim == ways_) victim = start % avail;  // self-abort
       const Entry& ve = set[victim];
       const SiblingSlot& vs = sib[victim];
       if (slotLive(ve.tx, ve.tx_seq)) r.capacity_victim = ve.tx;

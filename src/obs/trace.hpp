@@ -72,6 +72,9 @@ class Tracer {
 
   uint64_t eventCount() const { return n_events_; }
   uint64_t droppedCount() const { return n_dropped_; }
+  // Whether the raw stream is retained (the watchdog diagnostic attaches a
+  // trace tail only when it is).
+  bool keepsEvents() const { return keep_events_; }
 
  private:
   struct ThreadBuf {

@@ -23,7 +23,15 @@ SimThread* Machine::spawn(std::function<void(SimThread&)> fn, HwSlot slot,
   uint64_t seed_state = cfg_.seed * 0x9e3779b97f4a7c15ULL + raw->tid + 1;
   raw->rng = Rng(splitmix64(seed_state));
   raw->next_migration_check = start_clock + migration_interval_;
-  raw->fiber = std::make_unique<Fiber>([raw, fn = std::move(fn)] { fn(*raw); });
+  // WatchdogDrain unwinds the fiber's stack during a drain; it must be caught
+  // here, at the fiber entry point, because an exception can never cross the
+  // assembly stack switch.
+  raw->fiber = std::make_unique<Fiber>([raw, fn = std::move(fn)] {
+    try {
+      fn(*raw);
+    } catch (const detail::WatchdogDrain&) {
+    }
+  });
   occupancy_[slot.core_global]++;
   threads_.push_back(std::move(t));
   enqueue(raw);
@@ -41,20 +49,39 @@ uint64_t Machine::nextRunnableClock() const {
 
 void Machine::run() {
   assert(current_ == nullptr && "run() is not reentrant");
-  while (!heap_.empty()) {
-    Entry e = heap_.top();
-    heap_.pop();
-    SimThread* t = e.t;
-    next_wake_cache_ = nextRunnableClock();
-    current_ = t;
-    t->started = true;
-    t->fiber->resume();
-    current_ = nullptr;
-    if (t->fiber->finished()) {
-      finishThread(*t);
-    } else if (!t->blocked) {
-      enqueue(t);
+  for (;;) {
+    while (!heap_.empty()) {
+      Entry e = heap_.top();
+      heap_.pop();
+      SimThread* t = e.t;
+      next_wake_cache_ = nextRunnableClock();
+      current_ = t;
+      t->started = true;
+      t->fiber->resume();
+      current_ = nullptr;
+      if (t->fiber->finished()) {
+        finishThread(*t);
+      } else if (!t->blocked) {
+        enqueue(t);
+      }
     }
+    if (!watchdogEnabled() || draining_) break;
+    // No runnable fiber. If live fibers remain blocked, that is a deadlock:
+    // drain them (beginDrain wakes every blocked thread, refilling the heap;
+    // each then unwinds via WatchdogDrain).
+    bool stuck = false;
+    for (auto& t : threads_) {
+      if (t->blocked && !t->fiber->finished()) {
+        stuck = true;
+        break;
+      }
+    }
+    if (!stuck) break;
+    beginDrain("deadlock", nullptr);
+  }
+  if (tripped_) {
+    tripped_ = false;
+    throw WatchdogError(trip_kind_, diagnostic_, fired_clock_);
   }
 }
 
@@ -80,14 +107,30 @@ void Machine::chargeWork(SimThread& t, uint64_t cycles) {
 
 void Machine::maybeYield(SimThread& t) {
   assert(&t == current_);
-  if (t.clock > next_wake_cache_) t.fiber->yield();
+  // The trip check must precede the yield early-out: a lone runnable fiber
+  // (everyone else blocked) sees next_wake_cache_ == UINT64_MAX and would
+  // otherwise spin forever without ever passing through the scheduler.
+  if (t.clock >= trip_at_ && !draining_) {
+    beginDrain(cycle_limit_ > 0 && t.clock >= cycle_limit_ ? "cycle_limit"
+                                                           : "watchdog",
+               &t);
+  }
+  if (draining_) throw detail::WatchdogDrain{};
+  if (t.clock > next_wake_cache_) {
+    t.fiber->yield();
+    if (draining_) throw detail::WatchdogDrain{};
+  }
 }
 
 void Machine::blockCurrent() {
+  if (draining_) throw detail::WatchdogDrain{};
   SimThread& t = current();
   t.blocked = true;
   t.fiber->yield();
   assert(!t.blocked);
+  // Woken by beginDrain rather than a real unblock: unwind instead of
+  // returning into a primitive whose protocol was never completed.
+  if (draining_) throw detail::WatchdogDrain{};
 }
 
 void Machine::unblock(SimThread& t, uint64_t at) {
@@ -95,6 +138,93 @@ void Machine::unblock(SimThread& t, uint64_t at) {
   t.blocked = false;
   if (t.clock < at) t.clock = at;
   enqueue(&t);
+}
+
+void Machine::enableWatchdog(uint64_t budget_cycles,
+                             std::function<void(std::string&)> diag_hook) {
+  watchdog_budget_ = budget_cycles;
+  diag_hook_ = std::move(diag_hook);
+  progress_deadline_ = budget_cycles == 0 ? UINT64_MAX : budget_cycles;
+  recomputeTripAt();
+}
+
+void Machine::setCycleLimit(uint64_t limit_cycles) {
+  cycle_limit_ = limit_cycles;
+  recomputeTripAt();
+}
+
+void Machine::noteProgress(uint64_t clock) {
+  if (watchdog_budget_ == 0) return;
+  const uint64_t deadline = clock + watchdog_budget_;
+  // Progress reports arrive out of simulated-time order across threads; the
+  // deadline only ever extends (max), so the trip point is deterministic.
+  if (deadline > progress_deadline_) {
+    progress_deadline_ = deadline;
+    recomputeTripAt();
+  }
+}
+
+void Machine::recomputeTripAt() {
+  uint64_t at = watchdog_budget_ > 0 ? progress_deadline_ : UINT64_MAX;
+  if (cycle_limit_ > 0 && cycle_limit_ < at) at = cycle_limit_;
+  trip_at_ = at;
+}
+
+void Machine::beginDrain(const char* kind, SimThread* tripping) {
+  assert(!draining_);
+  draining_ = true;
+  tripped_ = true;
+  trip_kind_ = kind;
+  trip_at_ = UINT64_MAX;
+  if (tripping != nullptr) {
+    fired_clock_ = tripping->clock;
+  } else {
+    fired_clock_ = 0;
+    for (auto& t : threads_) {
+      if (t->blocked && !t->fiber->finished() && t->clock > fired_clock_) {
+        fired_clock_ = t->clock;
+      }
+    }
+  }
+  std::string d;
+  d += trip_kind_;
+  if (trip_kind_ == "watchdog") {
+    d += ": no progress within " + std::to_string(watchdog_budget_) +
+         " cycles (deadline " + std::to_string(progress_deadline_) + ")";
+  } else if (trip_kind_ == "cycle_limit") {
+    d += ": simulated-cycle limit " + std::to_string(cycle_limit_) + " reached";
+  } else {
+    d += ": no runnable fiber, blocked threads remain";
+  }
+  d += " at cycle " + std::to_string(fired_clock_);
+  if (tripping != nullptr) {
+    d += ", tripped by tid " + std::to_string(tripping->tid);
+  }
+  d += "\nthreads:\n";
+  for (auto& t : threads_) {
+    d += "  tid=" + std::to_string(t->tid) +
+         " socket=" + std::to_string(t->slot.socket) +
+         " core=" + std::to_string(t->slot.core_global) +
+         " ht=" + std::to_string(t->slot.ht) +
+         " clock=" + std::to_string(t->clock) + " state=";
+    if (t->fiber->finished()) {
+      d += "finished";
+    } else if (t->blocked) {
+      d += "blocked";
+    } else if (t.get() == tripping) {
+      d += "running";
+    } else {
+      d += "runnable";
+    }
+    d += "\n";
+  }
+  if (diag_hook_) diag_hook_(d);
+  diagnostic_ = std::move(d);
+  // Wake every blocked fiber so it can unwind; blockCurrent sees draining_
+  // and throws WatchdogDrain on resume.
+  for (auto& t : threads_) {
+    if (t->blocked && !t->fiber->finished()) unblock(*t, t->clock);
+  }
 }
 
 int Machine::socketLoad(int socket) const {

@@ -12,6 +12,8 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "sim/config.hpp"
@@ -22,6 +24,31 @@
 namespace natle::sim {
 
 class Machine;
+
+// Thrown out of Machine::run() after the watchdog trips and every fiber has
+// been drained. `kind` is "watchdog" (no progress within the budget),
+// "deadlock" (no runnable fiber while threads remain blocked) or
+// "cycle_limit"; `diagnostic` is the deterministic dump assembled at trip
+// time (per-thread state plus whatever the diagnostic hook appended).
+struct WatchdogError : std::runtime_error {
+  WatchdogError(std::string k, std::string diag, uint64_t clock)
+      : std::runtime_error("simulation " + k + " at cycle " +
+                           std::to_string(clock)),
+        kind(std::move(k)),
+        diagnostic(std::move(diag)),
+        fired_clock(clock) {}
+
+  std::string kind;
+  std::string diagnostic;
+  uint64_t fired_clock;
+};
+
+namespace detail {
+// Thrown inside a fiber to unwind its stack during a watchdog drain. It must
+// never cross the assembly fiber switch: Machine::spawn catches it at the
+// fiber entry point, so the fiber simply finishes.
+struct WatchdogDrain {};
+}  // namespace detail
 
 // A simulated hardware thread. `user` is scratch the layers above attach
 // (the HTM layer hangs its per-thread context here).
@@ -85,6 +112,23 @@ class Machine {
   // periodically by the access layer. Returns true if the thread moved.
   bool maybeMigrate(SimThread& t);
 
+  // --- livelock / deadlock watchdog -------------------------------------
+  // Arm the watchdog: if no progress (see noteProgress) lands within
+  // `budget_cycles` of the previous one, the run is drained and run() throws
+  // WatchdogError. `diag_hook` may append model-level detail (in-flight tx
+  // footprints, lock owners, trace tail) to the diagnostic at trip time.
+  // budget_cycles == 0 disarms.
+  void enableWatchdog(uint64_t budget_cycles,
+                      std::function<void(std::string&)> diag_hook = nullptr);
+  // Hard ceiling on simulated time, independent of progress (0 = none).
+  void setCycleLimit(uint64_t limit_cycles);
+  // Record forward progress (a commit, an op boundary, a lock release) at
+  // simulated time `clock`; extends the trip deadline. No-op when disarmed.
+  void noteProgress(uint64_t clock);
+  bool watchdogEnabled() const {
+    return watchdog_budget_ > 0 || cycle_limit_ > 0;
+  }
+
   uint64_t migrationCount() const { return migrations_; }
   // Largest clock any finished thread reached: the simulated makespan.
   uint64_t maxFinishClock() const { return max_finish_clock_; }
@@ -105,6 +149,12 @@ class Machine {
   void enqueue(SimThread* t);
   uint64_t nextRunnableClock() const;
   void finishThread(SimThread& t);
+  void recomputeTripAt();
+  // Flip into drain mode: build the deterministic diagnostic, wake every
+  // blocked fiber, and let each fiber unwind via WatchdogDrain on its next
+  // scheduling point. `tripping` is the thread whose clock crossed the
+  // deadline (nullptr for a deadlock detected from the scheduler).
+  void beginDrain(const char* kind, SimThread* tripping);
 
   MachineConfig cfg_;
   std::vector<std::unique_ptr<SimThread>> threads_;
@@ -116,6 +166,19 @@ class Machine {
   uint64_t migrations_ = 0;
   uint64_t max_finish_clock_ = 0;
   uint64_t migration_interval_;
+
+  // Watchdog state. trip_at_ caches min(progress deadline, cycle limit) so
+  // the armed fast path in maybeYield is one compare.
+  uint64_t watchdog_budget_ = 0;
+  uint64_t cycle_limit_ = 0;
+  uint64_t progress_deadline_ = UINT64_MAX;
+  uint64_t trip_at_ = UINT64_MAX;
+  bool draining_ = false;
+  bool tripped_ = false;
+  std::string trip_kind_;
+  std::string diagnostic_;
+  uint64_t fired_clock_ = 0;
+  std::function<void(std::string&)> diag_hook_;
 };
 
 }  // namespace natle::sim

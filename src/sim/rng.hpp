@@ -16,6 +16,27 @@ inline uint64_t splitmix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+// Independent named RNG stream domains. Workload threads derive their seeds
+// directly in Machine::spawn (seed * golden + tid + 1) — a derivation that
+// must never change, as every recorded figure depends on it byte-for-byte.
+// Auxiliary subsystems (fault injection) instead derive seeds through
+// streamSeed() with a domain constant, so their streams can never collide
+// with a workload stream and enabling/disabling them leaves the workload
+// draws untouched.
+inline constexpr uint64_t kStreamFaultStorm = 0x8f31f3c54d1ba64dULL;
+inline constexpr uint64_t kStreamFaultSqueeze = 0xb7c9e1a22f85d30bULL;
+inline constexpr uint64_t kStreamFaultLink = 0xd2e64b89136a9c77ULL;
+inline constexpr uint64_t kStreamFaultStall = 0xe9a1d5733c2b08f1ULL;
+
+// Seed for stream `index` of `domain`, derived from `base_seed`. Mixes all
+// three through SplitMix64 twice so nearby (seed, index) pairs decorrelate.
+inline uint64_t streamSeed(uint64_t base_seed, uint64_t domain, uint64_t index) {
+  uint64_t st = base_seed ^ domain;
+  uint64_t a = splitmix64(st);
+  st = a + (index * 0x9e3779b97f4a7c15ULL) + domain;
+  return splitmix64(st);
+}
+
 class Rng {
  public:
   Rng() : Rng(0xdeadbeefULL) {}

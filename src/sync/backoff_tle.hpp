@@ -42,9 +42,11 @@ class BackoffTleLock {
       if (!lock_was_held) {
         attempts = attempts + 1;
         if (remote && remote_backoff_ > 0) {
-          uint64_t pause = remote_backoff_ * static_cast<uint64_t>(attempts);
-          if (pause > 64 * remote_backoff_) pause = 64 * remote_backoff_;
-          ctx.work(pause + ctx.rng().below(remote_backoff_ + 1));
+          const uint64_t pause =
+              backoffPause(remote_backoff_, static_cast<uint64_t>(attempts));
+          ctx.work(pause + ctx.rng().below(remote_backoff_ < UINT64_MAX
+                                               ? remote_backoff_ + 1
+                                               : UINT64_MAX));
         }
       }
       if (attempts >= policy_.max_attempts) break;
@@ -52,8 +54,25 @@ class BackoffTleLock {
     }
     lock_.lock(ctx);
     if (ctx.nowCycles() >= ctx.env().statsStart()) ctx.stats().lock_acquires++;
+    if (fault::FaultSchedule* f = ctx.env().faults()) {
+      const uint64_t stall = f->lockHolderStall(ctx.nowCycles());
+      if (stall != 0) ctx.work(stall);
+    }
     cs();
     lock_.unlock(ctx);
+  }
+
+  // Backoff for a given attempt count, saturating at 64x the base backoff.
+  // Under an injected abort storm `attempts` grows without bound, so the
+  // scaled product must never overflow or exceed the cap.
+  static uint64_t backoffPause(uint64_t remote_backoff, uint64_t attempts) {
+    if (remote_backoff == 0 || attempts == 0) return 0;
+    const uint64_t cap = remote_backoff > UINT64_MAX / 64
+                             ? UINT64_MAX
+                             : remote_backoff * 64;
+    if (attempts >= 64 || remote_backoff > UINT64_MAX / attempts) return cap;
+    const uint64_t pause = remote_backoff * attempts;
+    return pause < cap ? pause : cap;
   }
 
  private:

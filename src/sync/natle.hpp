@@ -61,7 +61,19 @@ class NatleLock {
     acq_ = static_cast<unsigned char*>(
         env.allocShared(static_cast<size_t>(cfg.max_threads) * acq_stride_));
     std::memset(acq_, 0, static_cast<size_t>(cfg.max_threads) * acq_stride_);
+    // Watchdog diagnostics: raw host-side reads of the mode words (charges
+    // nothing; only ever invoked while draining a tripped run).
+    env_ = &env;
+    diag_id_ = env.registerDiag([this](std::string& out) {
+      out += "natle fastest_mode=" + std::to_string(sh_->fastest_mode) +
+             " alternate_mode=" + std::to_string(sh_->alternate_mode) +
+             " last_prof_start=" + std::to_string(sh_->last_prof_start) + "\n";
+    });
   }
+
+  ~NatleLock() { env_->unregisterDiag(diag_id_); }
+  NatleLock(const NatleLock&) = delete;
+  NatleLock& operator=(const NatleLock&) = delete;
 
   // LockAcquire/LockRelease of the paper's Figure 9, wrapped around the
   // critical section (see TleLock::execute for why cs is a callable).
@@ -269,6 +281,8 @@ class NatleLock {
  private:
   TleLock tle_;
   NatleConfig cfg_;
+  htm::Env* env_ = nullptr;
+  uint64_t diag_id_ = 0;
   Shared* sh_;
   unsigned char* acq_;
   size_t acq_stride_;

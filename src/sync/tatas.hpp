@@ -19,8 +19,11 @@ class TatasLock {
   uint64_t read(htm::ThreadCtx& ctx) { return ctx.load(*word_); }
 
   bool tryLock(htm::ThreadCtx& ctx) {
-    return ctx.load(*word_) == 0 &&
-           ctx.cas(*word_, uint64_t{0}, uint64_t{1});
+    if (ctx.load(*word_) == 0 && ctx.cas(*word_, uint64_t{0}, uint64_t{1})) {
+      owner_tid_ = ctx.tid();
+      return true;
+    }
+    return false;
   }
 
   void lock(htm::ThreadCtx& ctx) {
@@ -30,9 +33,18 @@ class TatasLock {
     }
   }
 
-  void unlock(htm::ThreadCtx& ctx) { ctx.store(*word_, uint64_t{0}); }
+  void unlock(htm::ThreadCtx& ctx) {
+    owner_tid_ = -1;
+    ctx.store(*word_, uint64_t{0});
+    // A lock release is forward progress even when no transaction ever
+    // commits (pure lock-based sync): keep the watchdog fed.
+    ctx.env().noteProgress(ctx.nowCycles());
+  }
 
   uint64_t lineId() const { return mem::lineOf(word_); }
+  // Host-level owner bookkeeping for watchdog diagnostics (reads no
+  // simulated memory, charges nothing). -1 when free.
+  int ownerTid() const { return owner_tid_; }
 
   // Spin (outside any transaction) until the lock is observed free.
   void waitWhileHeld(htm::ThreadCtx& ctx) {
@@ -42,6 +54,7 @@ class TatasLock {
  private:
   static constexpr uint32_t kSpinPause = 60;
   uint64_t* word_;
+  int owner_tid_ = -1;
 };
 
 }  // namespace natle::sync

@@ -48,7 +48,19 @@ inline TlePolicy Tle5CountLock() {
 class TleLock {
  public:
   TleLock(htm::Env& env, TlePolicy policy = TlePolicy{})
-      : lock_(env), policy_(policy) {}
+      : lock_(env), policy_(policy), env_(&env) {
+    // A watchdog dump should name the fallback lock and its holder; lines go
+    // through the allocator's stable ids so the diagnostic is ASLR-free.
+    diag_id_ = env.registerDiag([this](std::string& out) {
+      out += "tle lock line=" +
+             std::to_string(env_->allocator().stableLineId(lock_.lineId())) +
+             " owner_tid=" + std::to_string(lock_.ownerTid()) + "\n";
+    });
+  }
+
+  ~TleLock() { env_->unregisterDiag(diag_id_); }
+  TleLock(const TleLock&) = delete;
+  TleLock& operator=(const TleLock&) = delete;
 
   // Run `cs` as a critical section protected by this lock, eliding the lock
   // with a hardware transaction when possible.
@@ -106,6 +118,13 @@ class TleLock {
     }
 #endif
     if (ctx.nowCycles() >= ctx.env().statsStart()) ctx.stats().lock_acquires++;
+    // Fault injection: a stalled lock holder (preempted, interrupt) keeps the
+    // lock pinned while every elided section piles onto waitWhileHeld — the
+    // manufactured lemming cascade.
+    if (fault::FaultSchedule* f = ctx.env().faults()) {
+      const uint64_t stall = f->lockHolderStall(ctx.nowCycles());
+      if (stall != 0) ctx.work(stall);
+    }
     cs();
 #ifdef NATLE_DEBUG_EXCLUSIVE_FALLBACK
     --dbg_fallback_depth_;
@@ -120,6 +139,8 @@ class TleLock {
  private:
   TatasLock lock_;
   TlePolicy policy_;
+  htm::Env* env_;
+  uint64_t diag_id_ = 0;
 #ifdef NATLE_DEBUG_EXCLUSIVE_FALLBACK
   int dbg_fallback_depth_ = 0;
  public:

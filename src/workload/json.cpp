@@ -69,6 +69,11 @@ void appendJson(JsonWriter& w, const SetBenchConfig& c) {
   w.key("ext_max_units").value(static_cast<uint64_t>(c.ext.max_units));
   w.key("op_overhead_cycles").value(c.op_overhead_cycles);
   w.key("seed").value(c.seed);
+  // Adversity keys are emitted only when active so default configs keep the
+  // exact byte layout of earlier result files.
+  if (c.watchdog_ms > 0) w.key("watchdog_ms").value(c.watchdog_ms);
+  if (c.cycle_limit_ms > 0) w.key("cycle_limit_ms").value(c.cycle_limit_ms);
+  if (c.fault.enabled()) w.key("fault").value(c.fault.toSpecString());
   w.endObject();
 }
 

@@ -1,0 +1,272 @@
+#include "workload/json_parse.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+
+namespace natle::workload {
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+  std::string* err;
+  int depth = 0;
+
+  bool fail(const char* msg) {
+    if (err != nullptr) {
+      *err = std::string(msg) + " at byte " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skipWs() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      pos++;
+    }
+  }
+
+  bool literal(const char* word, size_t n) {
+    if (text.size() - pos < n || text.compare(pos, n, word) != 0) {
+      return fail("invalid literal");
+    }
+    pos += n;
+    return true;
+  }
+
+  bool parseString(std::string* out) {
+    // text[pos] == '"' checked by caller.
+    pos++;
+    out->clear();
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == '"') {
+        pos++;
+        return true;
+      }
+      if (c != '\\') {
+        if (static_cast<unsigned char>(c) < 0x20) {
+          return fail("unescaped control character in string");
+        }
+        out->push_back(c);
+        pos++;
+        continue;
+      }
+      if (pos + 1 >= text.size()) return fail("truncated escape");
+      const char e = text[pos + 1];
+      pos += 2;
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (text.size() - pos < 4) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos + static_cast<size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("invalid \\u escape");
+            }
+          }
+          pos += 4;
+          // UTF-8 encode. The writer only emits \u00xx, but accept the full
+          // BMP; surrogate pairs are passed through as replacement bytes.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseValue(JsonValue* out) {
+    if (++depth > 64) return fail("nesting too deep");
+    skipWs();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const size_t start = pos;
+    const char c = text[pos];
+    bool ok = false;
+    switch (c) {
+      case '{': {
+        out->kind = JsonValue::Kind::kObject;
+        pos++;
+        skipWs();
+        if (pos < text.size() && text[pos] == '}') {
+          pos++;
+          ok = true;
+          break;
+        }
+        for (;;) {
+          skipWs();
+          if (pos >= text.size() || text[pos] != '"') {
+            return fail("expected object key");
+          }
+          std::string key;
+          if (!parseString(&key)) return false;
+          skipWs();
+          if (pos >= text.size() || text[pos] != ':') {
+            return fail("expected ':'");
+          }
+          pos++;
+          JsonValue v;
+          if (!parseValue(&v)) return false;
+          out->members.emplace_back(std::move(key), std::move(v));
+          skipWs();
+          if (pos >= text.size()) return fail("unterminated object");
+          if (text[pos] == ',') {
+            pos++;
+            continue;
+          }
+          if (text[pos] == '}') {
+            pos++;
+            ok = true;
+            break;
+          }
+          return fail("expected ',' or '}'");
+        }
+        break;
+      }
+      case '[': {
+        out->kind = JsonValue::Kind::kArray;
+        pos++;
+        skipWs();
+        if (pos < text.size() && text[pos] == ']') {
+          pos++;
+          ok = true;
+          break;
+        }
+        for (;;) {
+          JsonValue v;
+          if (!parseValue(&v)) return false;
+          out->items.push_back(std::move(v));
+          skipWs();
+          if (pos >= text.size()) return fail("unterminated array");
+          if (text[pos] == ',') {
+            pos++;
+            continue;
+          }
+          if (text[pos] == ']') {
+            pos++;
+            ok = true;
+            break;
+          }
+          return fail("expected ',' or ']'");
+        }
+        break;
+      }
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        if (!parseString(&out->str)) return false;
+        ok = true;
+        break;
+      case 't':
+        if (!literal("true", 4)) return false;
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        ok = true;
+        break;
+      case 'f':
+        if (!literal("false", 5)) return false;
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        ok = true;
+        break;
+      case 'n':
+        if (!literal("null", 4)) return false;
+        out->kind = JsonValue::Kind::kNull;
+        ok = true;
+        break;
+      default: {
+        if (c != '-' && (c < '0' || c > '9')) return fail("unexpected token");
+        size_t end = pos + 1;
+        while (end < text.size()) {
+          const char d = text[end];
+          if ((d >= '0' && d <= '9') || d == '.' || d == '-' || d == '+' ||
+              d == 'e' || d == 'E') {
+            end++;
+          } else {
+            break;
+          }
+        }
+        // strtod needs NUL termination; copy the (short) slice.
+        const std::string num(text.substr(pos, end - pos));
+        char* conv_end = nullptr;
+        out->number = std::strtod(num.c_str(), &conv_end);
+        if (conv_end != num.c_str() + num.size()) {
+          return fail("invalid number");
+        }
+        out->kind = JsonValue::Kind::kNumber;
+        pos = end;
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) return false;
+    out->raw = std::string(text.substr(start, pos - start));
+    depth--;
+    return true;
+  }
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+uint64_t JsonValue::asU64(uint64_t fallback) const {
+  uint64_t v = 0;
+  const char* b = raw.data();
+  const char* e = b + raw.size();
+  const auto [p, ec] = std::from_chars(b, e, v);
+  return ec == std::errc() && p == e ? v : fallback;
+}
+
+int64_t JsonValue::asI64(int64_t fallback) const {
+  int64_t v = 0;
+  const char* b = raw.data();
+  const char* e = b + raw.size();
+  const auto [p, ec] = std::from_chars(b, e, v);
+  return ec == std::errc() && p == e ? v : fallback;
+}
+
+bool parseJson(std::string_view text, JsonValue* out, std::string* err) {
+  Parser p{text, 0, err, 0};
+  if (!p.parseValue(out)) return false;
+  p.skipWs();
+  if (p.pos != text.size()) return p.fail("trailing content");
+  return true;
+}
+
+}  // namespace natle::workload

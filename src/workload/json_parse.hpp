@@ -1,0 +1,50 @@
+// Minimal JSON reader for result-file ingestion (--resume, isolate-mode
+// child records). The DOM keeps the exact source slice of every value next
+// to the decoded form, so numbers round-trip losslessly: a uint64 counter
+// above 2^53 re-parses via from_chars on the raw text instead of through a
+// double, and a resumed record can be re-emitted byte-for-byte.
+//
+// Parsing is strict where the writer is (JsonWriter output always parses)
+// and tolerant of insignificant whitespace. No external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace natle::workload {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;    // decoded value for kNumber
+  std::string str;      // unescaped text for kString
+  std::string raw;      // exact source text of this value (any kind)
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject, in order
+
+  bool isNull() const { return kind == Kind::kNull; }
+  bool isObject() const { return kind == Kind::kObject; }
+  bool isArray() const { return kind == Kind::kArray; }
+  bool isNumber() const { return kind == Kind::kNumber; }
+  bool isString() const { return kind == Kind::kString; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  // Integer re-parse from the raw slice (exact for the full uint64/int64
+  // range). Returns the fallback when the raw text is not a plain integer.
+  uint64_t asU64(uint64_t fallback = 0) const;
+  int64_t asI64(int64_t fallback = 0) const;
+};
+
+// Parse one JSON document (leading/trailing whitespace allowed). On failure
+// returns false and, when err != nullptr, stores a message with the byte
+// offset of the problem.
+bool parseJson(std::string_view text, JsonValue* out, std::string* err);
+
+}  // namespace natle::workload

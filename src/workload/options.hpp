@@ -18,6 +18,13 @@ struct BenchOptions {
   bool help = false;
   bool trace = false;  // attach the tracing subsystem; attribution in JSON
   double time_scale = 1.0;
+  // Fault-schedule spec string (see fault::FaultSpec::parse) applied by
+  // SetSweep to every planned point that does not set its own; empty = no
+  // injected faults. Validated where fault.hpp is linked (CLI entry points).
+  std::string fault_spec;
+  // Livelock watchdog budget in simulated milliseconds, applied the same
+  // way; 0 leaves the watchdog disarmed.
+  double watchdog_ms = 0;
 
   // Validated NATLE_SIM_SCALE parsing: the whole string must be a finite
   // number > 0 (atof's silent 0.0-on-garbage caused misconfigured runs to
@@ -43,6 +50,21 @@ struct BenchOptions {
         o.full = true;
       } else if (std::strcmp(argv[i], "--trace") == 0) {
         o.trace = true;
+      } else if (std::strncmp(argv[i], "--fault=", 8) == 0) {
+        o.fault_spec = argv[i] + 8;
+      } else if (std::strcmp(argv[i], "--fault") == 0 && i + 1 < argc) {
+        o.fault_spec = argv[++i];
+      } else if (std::strncmp(argv[i], "--watchdog-ms=", 14) == 0 ||
+                 (std::strcmp(argv[i], "--watchdog-ms") == 0 &&
+                  i + 1 < argc)) {
+        const char* v = argv[i][13] == '=' ? argv[i] + 14 : argv[++i];
+        if (!parseScale(v, &o.watchdog_ms)) {
+          if (err != nullptr) {
+            *err = std::string("invalid --watchdog-ms value: \"") + v +
+                   "\" (want a finite number > 0)";
+          }
+          return false;
+        }
       } else if (std::strcmp(argv[i], "--help") == 0 ||
                  std::strcmp(argv[i], "-h") == 0) {
         o.help = true;
@@ -68,12 +90,20 @@ struct BenchOptions {
 
   static void printUsage(const char* prog, std::FILE* to) {
     std::fprintf(to,
-                 "usage: %s [--full] [--trace] [--help]\n"
+                 "usage: %s [--full] [--trace] [--fault SPEC] "
+                 "[--watchdog-ms N] [--help]\n"
                  "  --full   denser thread axis, longer trials, 3 trials/point\n"
                  "  --trace  record transaction events; abort attribution "
                  "(killer matrix,\n"
                  "           hot lines, fallback episodes) is attached to JSON "
                  "records\n"
+                 "  --fault SPEC     inject a deterministic fault schedule "
+                 "into every point\n"
+                 "                   (e.g. 'storm:rate=2e-4,period_ms=1,"
+                 "duration_ms=0.2;seed=7')\n"
+                 "  --watchdog-ms N  arm the livelock watchdog: fail a point "
+                 "that makes no\n"
+                 "                   progress for N simulated ms\n"
                  "environment:\n"
                  "  NATLE_SIM_SCALE=<float>  scale simulated trial length "
                  "(default 1.0)\n",

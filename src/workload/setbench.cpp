@@ -93,17 +93,28 @@ SetBenchResult runSetBench(const SetBenchConfig& cfg) {
       for (size_t i = 0; i < keys.size() / 2; ++i) set->insert(sc, keys[i]);
     }
 
-    sync::TleLock* tle = nullptr;
-    sync::NatleLock* natle = nullptr;
+    // unique_ptr, not raw new: a tripped watchdog throws out of env.run()
+    // and the locks must still unregister their diagnostics. Declared after
+    // `env` so they are destroyed first.
+    std::unique_ptr<sync::TleLock> tle;
+    std::unique_ptr<sync::NatleLock> natle;
     if (cfg.sync == SyncKind::kTle) {
-      tle = new sync::TleLock(env, cfg.tle);
+      tle = std::make_unique<sync::TleLock>(env, cfg.tle);
     } else if (cfg.sync == SyncKind::kNatle) {
-      natle = new sync::NatleLock(env, cfg.tle, cfg.natle);
+      natle = std::make_unique<sync::NatleLock>(env, cfg.tle, cfg.natle);
       natle->setActiveRows(cfg.nthreads < 128 ? 128 : cfg.nthreads);
     }
 
     const uint64_t t_end = mc.msToCycles(cfg.warmup_ms + cfg.measure_ms);
     env.setStatsStart(mc.msToCycles(cfg.warmup_ms));
+
+    // Adversity hooks. Prefill above runs before installation, so fault
+    // windows only ever perturb the spawned workers, never setup.
+    if (cfg.fault.enabled()) env.installFaults(cfg.fault);
+    if (cfg.watchdog_ms > 0) env.enableWatchdog(mc.msToCycles(cfg.watchdog_ms));
+    if (cfg.cycle_limit_ms > 0) {
+      env.setCycleLimit(mc.msToCycles(cfg.cycle_limit_ms));
+    }
 
     // One tracer per trial so fallback episodes never span trial boundaries;
     // attribution is summed across trials below.
@@ -127,7 +138,7 @@ SetBenchResult runSetBench(const SetBenchConfig& cfg) {
               if (cfg.search_replace) {
                 if (cfg.sync == SyncKind::kNone) {
                   set->searchReplace(ctx, key);
-                } else if (tle != nullptr) {
+                } else if (tle) {
                   tle->execute(ctx, [&] { set->searchReplace(ctx, key); });
                 } else {
                   natle->execute(ctx, [&] { set->searchReplace(ctx, key); });
@@ -147,7 +158,7 @@ SetBenchResult runSetBench(const SetBenchConfig& cfg) {
                 };
                 if (cfg.sync == SyncKind::kNone) {
                   op();
-                } else if (tle != nullptr) {
+                } else if (tle) {
                   tle->execute(ctx, op);
                 } else {
                   natle->execute(ctx, op);
@@ -175,11 +186,7 @@ SetBenchResult runSetBench(const SetBenchConfig& cfg) {
     }
     mops_sum += static_cast<double>(t.ops) /
                 (cfg.measure_ms * 1e-3) / 1e6;
-    if (natle != nullptr) {
-      agg.natle_history = natle->history();
-      delete natle;
-    }
-    delete tle;
+    if (natle) agg.natle_history = natle->history();
   }
   agg.mops = mops_sum / cfg.trials;
   const auto& s = agg.stats;

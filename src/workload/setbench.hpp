@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "htm/stats.hpp"
 #include "obs/attribution.hpp"
 #include "sim/config.hpp"
@@ -50,6 +51,13 @@ struct SetBenchConfig {
   // overhead); roughly 60ns at 2.3 GHz, matching a real benchmark loop.
   uint64_t op_overhead_cycles = 140;
   uint64_t seed = 1;
+  // Adversity knobs (serialized into config JSON only when active, so
+  // default runs keep their byte layout). fault injects the deterministic
+  // fault schedule; watchdog_ms fails a trial that makes no progress for
+  // that many simulated ms; cycle_limit_ms hard-caps total simulated time.
+  fault::FaultSpec fault;
+  double watchdog_ms = 0;
+  double cycle_limit_ms = 0;
   // Observability (not serialized into config JSON: tracing is strictly
   // observational and never changes simulation results).
   bool trace = false;      // aggregate events into SetBenchResult.attribution

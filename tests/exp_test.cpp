@@ -3,8 +3,12 @@
 // loop), and the determinism contract — a worker pool of any size must
 // produce byte-identical CSV and JSON (modulo the wall_ms timing fields).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cstdlib>
+#include <map>
 #include <regex>
+#include <stdexcept>
 #include <string>
 
 #include "exp/exp.hpp"
@@ -182,6 +186,164 @@ TEST(Runner, TracingDoesNotChangeUntracedOutputs) {
       std::regex_replace(traced.json, kAttr, ",\"wall_ms\"");
   EXPECT_NE(traced.json, scrubbed);  // attribution was present
   EXPECT_EQ(stripWallMs(plain.json), stripWallMs(scrubbed));
+}
+
+TEST(Runner, ThrownExceptionBecomesFailedRecord) {
+  Experiment e{"inline_throwing", "d", "none", "",
+               [](const workload::BenchOptions&, Plan& plan) {
+                 Job ok;
+                 ok.series = "ok";
+                 ok.x = 0;
+                 ok.run = [] {
+                   PointData p;
+                   p.value = 1.0;
+                   return p;
+                 };
+                 plan.jobs.push_back(std::move(ok));
+                 Job bad;
+                 bad.series = "bad";
+                 bad.x = 1;
+                 bad.run = []() -> PointData {
+                   throw std::runtime_error("synthetic failure");
+                 };
+                 plan.jobs.push_back(std::move(bad));
+               }};
+  workload::BenchOptions opt;
+  const ExperimentOutput out = runExperiment(e, opt, RunnerOptions{});
+  EXPECT_EQ(out.n_failed, 1u);
+  ASSERT_EQ(out.failures.size(), 1u);
+  EXPECT_EQ(out.failures[0].series, "bad");
+  EXPECT_EQ(out.failures[0].kind, "exception");
+  // The failed point is a structured record, not a CSV row.
+  EXPECT_NE(out.json.find("\"failed\":{\"kind\":\"exception\""),
+            std::string::npos);
+  EXPECT_NE(out.json.find("synthetic failure"), std::string::npos);
+  EXPECT_EQ(out.csv.find("bad"), std::string::npos);
+  EXPECT_NE(out.csv.find("ok,0,1"), std::string::npos);
+}
+
+TEST(Runner, TransientRetryWithReseed) {
+  Experiment e{"inline_transient", "d", "none", "",
+               [](const workload::BenchOptions&, Plan& plan) {
+                 Job j;
+                 j.series = "flaky";
+                 j.x = 0;
+                 j.transient = true;
+                 j.run = []() -> PointData {
+                   throw std::runtime_error("first attempt fails");
+                 };
+                 j.run_reseeded = [](int salt) {
+                   PointData p;
+                   p.value = 100.0 + salt;
+                   return p;
+                 };
+                 plan.jobs.push_back(std::move(j));
+               }};
+  workload::BenchOptions opt;
+  RunnerOptions none;  // retries disabled: the failure sticks
+  EXPECT_EQ(runExperiment(e, opt, none).n_failed, 1u);
+  RunnerOptions retry;
+  retry.transient_retries = 2;
+  const ExperimentOutput out = runExperiment(e, opt, retry);
+  EXPECT_EQ(out.n_failed, 0u);
+  // Succeeded on the first reseeded attempt; the record says so.
+  EXPECT_NE(out.json.find("\"value\":101"), std::string::npos);
+  EXPECT_NE(out.json.find("\"retries\":1"), std::string::npos);
+}
+
+TEST(Runner, StopTokenLeavesQueuedJobsNotRun) {
+  StopToken stop;
+  Experiment e{"inline_stopped", "d", "none", "",
+               [&stop](const workload::BenchOptions&, Plan& plan) {
+                 for (int i = 0; i < 3; ++i) {
+                   Job j;
+                   j.series = "s";
+                   j.x = i;
+                   j.run = [&stop, i] {
+                     if (i == 0) stop.request();  // "SIGINT" mid-run
+                     PointData p;
+                     p.value = i;
+                     return p;
+                   };
+                   plan.jobs.push_back(std::move(j));
+                 }
+               }};
+  workload::BenchOptions opt;
+  RunnerOptions ropt;
+  ropt.jobs = 1;  // serial, so the stop lands before jobs 1 and 2 start
+  ropt.stop = &stop;
+  const ExperimentOutput out = runExperiment(e, opt, ropt);
+  EXPECT_EQ(out.n_not_run, 2u);
+  EXPECT_EQ(out.n_failed, 0u);
+  // Not-run points are omitted from the result file so --resume reruns them.
+  size_t records = 0;
+  for (size_t pos = 0; (pos = out.json.find("\"series\":", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++records;
+  }
+  EXPECT_EQ(records, 1u);
+}
+
+TEST(Runner, ResumeSplicesPriorRecordsByteIdentically) {
+  const Experiment* e = Registry::instance().find("exp_test_tiny");
+  ASSERT_NE(e, nullptr);
+  workload::BenchOptions opt;
+  const ExperimentOutput first = runExperiment(*e, opt, RunnerOptions{});
+
+  std::map<std::string, std::map<std::string, ResumePoint>> resume;
+  std::string name, err;
+  ASSERT_TRUE(loadResumeFile(first.json, &resume["exp_test_tiny"], &name,
+                             &err))
+      << err;
+  EXPECT_EQ(name, "exp_test_tiny");
+  ASSERT_EQ(resume["exp_test_tiny"].size(), first.n_jobs);
+
+  RunnerOptions ropt;
+  ropt.resume = &resume;
+  const ExperimentOutput second = runExperiment(*e, opt, ropt);
+  EXPECT_EQ(second.n_resumed, first.n_jobs);
+  // Resumed output is byte-identical wall_ms included: the prior record
+  // text is spliced verbatim.
+  EXPECT_EQ(second.json, first.json);
+  EXPECT_EQ(second.csv, first.csv);
+}
+
+TEST(Runner, IsolateTurnsCrashAndTimeoutIntoFailedRecords) {
+  Experiment e{"inline_isolate", "d", "none", "",
+               [](const workload::BenchOptions&, Plan& plan) {
+                 Job ok;
+                 ok.series = "ok";
+                 ok.x = 0;
+                 ok.run = [] {
+                   PointData p;
+                   p.value = 7.0;
+                   return p;
+                 };
+                 plan.jobs.push_back(std::move(ok));
+                 Job crash;
+                 crash.series = "crash";
+                 crash.x = 1;
+                 crash.run = []() -> PointData { std::abort(); };
+                 plan.jobs.push_back(std::move(crash));
+                 Job hang;
+                 hang.series = "hang";
+                 hang.x = 2;
+                 hang.run = []() -> PointData {
+                   for (;;) pause();  // wall-clock hang; killed by timeout
+                 };
+                 plan.jobs.push_back(std::move(hang));
+               }};
+  workload::BenchOptions opt;
+  RunnerOptions ropt;
+  ropt.isolate = true;
+  ropt.jobs = 2;
+  ropt.point_timeout_s = 0.5;
+  const ExperimentOutput out = runExperiment(e, opt, ropt);
+  EXPECT_EQ(out.n_failed, 2u);
+  EXPECT_NE(out.json.find("\"value\":7"), std::string::npos);
+  EXPECT_NE(out.json.find("\"kind\":\"crash\""), std::string::npos);
+  EXPECT_NE(out.json.find("\"kind\":\"timeout\""), std::string::npos);
 }
 
 TEST(Sweep, DumpTraceIsRepeatableAndStructured) {

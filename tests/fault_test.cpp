@@ -1,0 +1,264 @@
+// Fault-injection subsystem: spec parsing, window determinism, per-channel
+// schedule behavior, watchdog/livelock detection, and the determinism guard
+// (faults compiled in but disabled must not perturb results).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/fault.hpp"
+#include "sim/config.hpp"
+#include "sim/machine.hpp"
+#include "sim/rng.hpp"
+#include "workload/json.hpp"
+#include "workload/setbench.hpp"
+
+namespace natle {
+namespace {
+
+TEST(FaultSpec, ParsesFullGrammar) {
+  fault::FaultSpec s;
+  std::string err;
+  ASSERT_TRUE(fault::FaultSpec::parse(
+      "storm:rate=2e-4,period_ms=1,duration_ms=0.2,socket=1,jitter=0.3;"
+      "squeeze:ways=6,period_ms=0.7,duration_ms=0.15;"
+      "link:extra=300,period_ms=0.9,duration_ms=0.2;"
+      "stall:cycles=40000,period_ms=1.1,duration_ms=0.05;"
+      "seed=7",
+      &s, &err))
+      << err;
+  EXPECT_DOUBLE_EQ(s.storm_rate, 2e-4);
+  EXPECT_EQ(s.storm_socket, 1);
+  EXPECT_DOUBLE_EQ(s.storm.jitter, 0.3);
+  EXPECT_EQ(s.squeeze_ways, 6u);
+  EXPECT_EQ(s.link_extra, 300u);
+  EXPECT_EQ(s.stall_cycles, 40000u);
+  EXPECT_EQ(s.seed, 7u);
+  EXPECT_TRUE(s.enabled());
+}
+
+TEST(FaultSpec, RoundTripsThroughSpecString) {
+  fault::FaultSpec s;
+  ASSERT_TRUE(fault::FaultSpec::parse(
+      "storm:rate=1e-3,period_ms=0.5,duration_ms=0.1;stall:cycles=100,"
+      "period_ms=2,duration_ms=0.4;seed=42",
+      &s, nullptr));
+  const std::string text = s.toSpecString();
+  fault::FaultSpec s2;
+  std::string err;
+  ASSERT_TRUE(fault::FaultSpec::parse(text, &s2, &err)) << text << ": " << err;
+  EXPECT_EQ(s2.toSpecString(), text);
+}
+
+TEST(FaultSpec, RejectsUnknownChannelAndKey) {
+  fault::FaultSpec s;
+  std::string err;
+  EXPECT_FALSE(fault::FaultSpec::parse("blizzard:rate=1", &s, &err));
+  EXPECT_FALSE(
+      fault::FaultSpec::parse("storm:rat=1,period_ms=1,duration_ms=1", &s,
+                              &err));
+  EXPECT_FALSE(fault::FaultSpec::parse("squeeze:ways=65,period_ms=1", &s,
+                                       &err));
+}
+
+TEST(FaultSpec, DisabledWithoutIntensityOrWindows) {
+  fault::FaultSpec s;
+  // A window with no intensity is inert; intensity with no window too.
+  ASSERT_TRUE(
+      fault::FaultSpec::parse("storm:period_ms=1,duration_ms=0.5", &s,
+                              nullptr));
+  EXPECT_FALSE(s.enabled());
+  ASSERT_TRUE(fault::FaultSpec::parse("storm:rate=1e-3", &s, nullptr));
+  EXPECT_FALSE(s.enabled());
+}
+
+TEST(FaultSchedule, StormRespectsSocketFilterAndWindows) {
+  fault::FaultSpec s;
+  ASSERT_TRUE(fault::FaultSpec::parse(
+      "storm:rate=1e-3,period_ms=1,duration_ms=0.2,socket=1,jitter=0;seed=5",
+      &s, nullptr));
+  const sim::MachineConfig mc = sim::LargeMachine();
+  fault::FaultSchedule sched(s, mc);
+  // With jitter=0 the first window starts exactly one period in.
+  const uint64_t period = static_cast<uint64_t>(1.0 * 1e6 * mc.ghz);
+  const uint64_t dur = static_cast<uint64_t>(0.2 * 1e6 * mc.ghz);
+  // Inside the first window, the hazard integrates rate over the overlap.
+  const double inside =
+      sched.stormHazard(1, period + dur / 4, period + dur / 2);
+  EXPECT_GT(inside, 0.0);
+  // Wrong socket: zero.
+  EXPECT_DOUBLE_EQ(sched.stormHazard(0, period + dur / 4, period + dur / 2),
+                   0.0);
+  // Before any window: zero.
+  EXPECT_DOUBLE_EQ(sched.stormHazard(1, 0, period / 2), 0.0);
+}
+
+TEST(FaultSchedule, DeterministicAcrossInstances) {
+  fault::FaultSpec s;
+  ASSERT_TRUE(fault::FaultSpec::parse(
+      "storm:rate=1e-3,period_ms=0.3,duration_ms=0.1;squeeze:ways=4,"
+      "period_ms=0.4,duration_ms=0.1;seed=11",
+      &s, nullptr));
+  const sim::MachineConfig mc = sim::LargeMachine();
+  fault::FaultSchedule a(s, mc);
+  fault::FaultSchedule b(s, mc);
+  for (uint64_t t = 0; t < 20000000; t += 77777) {
+    ASSERT_DOUBLE_EQ(a.stormHazard(0, t, t + 500), b.stormHazard(0, t, t + 500));
+    ASSERT_EQ(a.maskedWays(3, t), b.maskedWays(3, t));
+  }
+}
+
+TEST(FaultStreams, IndependentOfWorkloadSeeding) {
+  // Fault streams derive from streamSeed(base, domain, index); the workload
+  // thread seeding path (seed * golden + tid + 1 -> splitmix) must never
+  // collide with them for small seeds/tids.
+  uint64_t wl_state = 1 * 0x9e3779b97f4a7c15ULL + 0 + 1;
+  const uint64_t wl = sim::splitmix64(wl_state);
+  EXPECT_NE(wl, sim::streamSeed(1, sim::kStreamFaultStorm, 0));
+  EXPECT_NE(sim::streamSeed(1, sim::kStreamFaultStorm, 0),
+            sim::streamSeed(1, sim::kStreamFaultSqueeze, 0));
+  EXPECT_NE(sim::streamSeed(1, sim::kStreamFaultStorm, 0),
+            sim::streamSeed(1, sim::kStreamFaultStorm, 1));
+}
+
+// The determinism guard: a config with the fault subsystem compiled in but
+// no fault spec must produce byte-identical config JSON and identical
+// results to the pre-fault behavior (no new keys, no extra RNG draws).
+TEST(FaultDeterminismGuard, DisabledFaultsDoNotPerturbResults) {
+  workload::SetBenchConfig cfg;
+  cfg.nthreads = 8;
+  cfg.key_range = 512;
+  cfg.measure_ms = 0.4;
+  cfg.warmup_ms = 0.1;
+  cfg.seed = 3;
+  const std::string j = workload::toJson(cfg);
+  EXPECT_EQ(j.find("fault"), std::string::npos);
+  EXPECT_EQ(j.find("watchdog"), std::string::npos);
+
+  const workload::SetBenchResult base = workload::runSetBench(cfg);
+  // Arming the watchdog (without tripping) must not change results either:
+  // progress tracking is observational.
+  workload::SetBenchConfig wd = cfg;
+  wd.watchdog_ms = 50.0;
+  const workload::SetBenchResult guarded = workload::runSetBench(wd);
+  EXPECT_EQ(base.stats.ops, guarded.stats.ops);
+  EXPECT_EQ(base.stats.tx_commits, guarded.stats.tx_commits);
+  EXPECT_EQ(base.stats.totalAborts(), guarded.stats.totalAborts());
+  EXPECT_DOUBLE_EQ(base.mops, guarded.mops);
+}
+
+TEST(FaultInjection, StormChangesResultsOnlyWhenEnabled) {
+  workload::SetBenchConfig cfg;
+  cfg.nthreads = 8;
+  cfg.key_range = 512;
+  cfg.measure_ms = 0.6;
+  cfg.warmup_ms = 0.1;
+  cfg.seed = 3;
+  const workload::SetBenchResult base = workload::runSetBench(cfg);
+
+  workload::SetBenchConfig stormy = cfg;
+  ASSERT_TRUE(fault::FaultSpec::parse(
+      "storm:rate=5e-4,period_ms=0.1,duration_ms=0.05;seed=2", &stormy.fault,
+      nullptr));
+  const workload::SetBenchResult hit = workload::runSetBench(stormy);
+  EXPECT_GT(
+      hit.stats.tx_aborts[static_cast<int>(htm::AbortReason::kSpurious)],
+      base.stats.tx_aborts[static_cast<int>(htm::AbortReason::kSpurious)]);
+  // And the injected run itself is reproducible.
+  const workload::SetBenchResult hit2 = workload::runSetBench(stormy);
+  EXPECT_EQ(hit.stats.ops, hit2.stats.ops);
+  EXPECT_EQ(hit.stats.totalAborts(), hit2.stats.totalAborts());
+}
+
+// --- watchdog / livelock ---------------------------------------------------
+
+TEST(Watchdog, LockHolderStallTripsWithinBudget) {
+  // Always-on ~10ms lock-holder stall vs a 2ms progress budget: the seeded
+  // livelock fixture. The watchdog must convert it into a WatchdogError
+  // whose firing clock is within (budget, stall] of the stall start.
+  workload::SetBenchConfig cfg;
+  cfg.nthreads = 8;
+  cfg.key_range = 2048;
+  cfg.measure_ms = 2.0;
+  cfg.warmup_ms = 0.2;
+  cfg.watchdog_ms = 2.0;
+  ASSERT_TRUE(fault::FaultSpec::parse(
+      "stall:cycles=23000000,period_ms=0.01,duration_ms=50;seed=1",
+      &cfg.fault, nullptr));
+  const sim::MachineConfig mc = cfg.machine;
+  try {
+    workload::runSetBench(cfg);
+    FAIL() << "expected WatchdogError";
+  } catch (const sim::WatchdogError& e) {
+    EXPECT_EQ(e.kind, "watchdog");
+    // Fired within budget of the last progress: the stall begins within the
+    // first ~0.1ms, so the trip lands well before the 10ms stall completes
+    // plus the 2ms budget.
+    EXPECT_LE(e.fired_clock, mc.msToCycles(2.0) + 23000000 + mc.msToCycles(1.0));
+    EXPECT_NE(e.diagnostic.find("threads:"), std::string::npos);
+    EXPECT_NE(e.diagnostic.find("tle lock line="), std::string::npos);
+  }
+}
+
+TEST(Watchdog, DiagnosticIsDeterministic) {
+  workload::SetBenchConfig cfg;
+  cfg.nthreads = 8;
+  cfg.key_range = 2048;
+  cfg.measure_ms = 1.0;
+  cfg.warmup_ms = 0.1;
+  cfg.watchdog_ms = 1.0;
+  ASSERT_TRUE(fault::FaultSpec::parse(
+      "stall:cycles=23000000,period_ms=0.01,duration_ms=50;seed=1",
+      &cfg.fault, nullptr));
+  std::string d1, d2;
+  uint64_t c1 = 0, c2 = 0;
+  for (int run = 0; run < 2; ++run) {
+    try {
+      workload::runSetBench(cfg);
+      FAIL() << "expected WatchdogError";
+    } catch (const sim::WatchdogError& e) {
+      (run == 0 ? d1 : d2) = e.diagnostic;
+      (run == 0 ? c1 : c2) = e.fired_clock;
+    }
+  }
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(c1, c2);
+  EXPECT_FALSE(d1.empty());
+}
+
+TEST(Watchdog, CycleLimitCapsRunawaySimulation) {
+  workload::SetBenchConfig cfg;
+  cfg.nthreads = 4;
+  cfg.key_range = 256;
+  cfg.measure_ms = 10.0;
+  cfg.warmup_ms = 0.1;
+  cfg.cycle_limit_ms = 1.0;  // far below the configured measure window
+  try {
+    workload::runSetBench(cfg);
+    FAIL() << "expected WatchdogError";
+  } catch (const sim::WatchdogError& e) {
+    EXPECT_EQ(e.kind, "cycle_limit");
+    EXPECT_GE(e.fired_clock, cfg.machine.msToCycles(1.0));
+  }
+}
+
+TEST(Watchdog, DeadlockedFibersAreDetected) {
+  // Two fibers blocked forever: with the watchdog armed the machine reports
+  // a deadlock instead of silently returning with blocked threads.
+  sim::MachineConfig mc = sim::SmallMachine();
+  sim::Machine m(mc);
+  m.enableWatchdog(mc.msToCycles(1.0));
+  for (int i = 0; i < 2; ++i) {
+    m.spawn([](sim::SimThread& st) { st.machine->blockCurrent(); },
+            sim::HwSlot{0, i, 0}, true);
+  }
+  try {
+    m.run();
+    FAIL() << "expected WatchdogError";
+  } catch (const sim::WatchdogError& e) {
+    EXPECT_EQ(e.kind, "deadlock");
+    EXPECT_NE(e.diagnostic.find("state=blocked"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace natle

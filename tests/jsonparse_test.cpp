@@ -1,0 +1,241 @@
+// JSON parser (workload/json_parse) and point-record serialization
+// (exp/pointio): raw-slice fidelity, 64-bit counter round-trips, record
+// round-trips and --resume ingestion.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "exp/pointio.hpp"
+#include "exp/record.hpp"
+#include "htm/abort.hpp"
+#include "workload/json.hpp"
+#include "workload/json_parse.hpp"
+
+namespace natle {
+namespace {
+
+using workload::JsonValue;
+using workload::parseJson;
+
+TEST(JsonParse, ParsesScalarsArraysObjects) {
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(parseJson(
+      R"({"a":1,"b":-2.5e3,"c":"hi","d":true,"e":null,"f":[1,2,[3]],"g":{}})",
+      &v, &err))
+      << err;
+  ASSERT_TRUE(v.isObject());
+  EXPECT_DOUBLE_EQ(v.find("a")->number, 1.0);
+  EXPECT_DOUBLE_EQ(v.find("b")->number, -2500.0);
+  EXPECT_EQ(v.find("c")->str, "hi");
+  EXPECT_TRUE(v.find("d")->boolean);
+  EXPECT_TRUE(v.find("e")->isNull());
+  ASSERT_TRUE(v.find("f")->isArray());
+  EXPECT_EQ(v.find("f")->items.size(), 3u);
+  EXPECT_TRUE(v.find("f")->items[2].isArray());
+  EXPECT_TRUE(v.find("g")->isObject());
+  EXPECT_TRUE(v.find("g")->members.empty());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, DecodesStringEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(parseJson(R"("a\"b\\c\nd\teé")", &v, nullptr));
+  EXPECT_EQ(v.str, "a\"b\\c\nd\te\xc3\xa9");
+  // \u escapes across the three UTF-8 width classes.
+  ASSERT_TRUE(parseJson(R"("\u0041\u00e9\u20ac")", &v, nullptr));
+  EXPECT_EQ(v.str, "A\xc3\xa9\xe2\x82\xac");
+  EXPECT_FALSE(parseJson(R"("\uZZZZ")", &v, nullptr));
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(parseJson("{\"a\":}", &v, &err));
+  EXPECT_FALSE(parseJson("[1,2", &v, &err));
+  EXPECT_FALSE(parseJson("1.2.3", &v, &err));
+  EXPECT_FALSE(parseJson("{} trailing", &v, &err));
+  EXPECT_FALSE(parseJson("\"unterminated", &v, &err));
+  EXPECT_FALSE(parseJson("", &v, &err));
+  // Depth bomb: past the recursion cap.
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(parseJson(deep, &v, &err));
+}
+
+TEST(JsonParse, KeepsRawSourceSlices) {
+  JsonValue v;
+  const std::string text = R"({"cfg":{"n":48,"x":1.5},"big":18446744073709551615})";
+  ASSERT_TRUE(parseJson(text, &v, nullptr));
+  // The raw slice is the exact source text of the value — this is what lets
+  // configs and resumed records re-emit byte-identically.
+  EXPECT_EQ(v.find("cfg")->raw, R"({"n":48,"x":1.5})");
+  EXPECT_EQ(v.raw, text);
+}
+
+TEST(JsonParse, U64CountersAbove2Pow53RoundTrip) {
+  // Doubles lose precision above 2^53; asU64 re-parses the raw digits.
+  const uint64_t big = 0xfedcba9876543210ULL;  // 18364758544493064720
+  JsonValue v;
+  ASSERT_TRUE(parseJson("{\"c\":18364758544493064720}", &v, nullptr));
+  EXPECT_EQ(v.find("c")->asU64(), big);
+  EXPECT_NE(static_cast<uint64_t>(v.find("c")->number), big);
+}
+
+// --- pointio ---------------------------------------------------------------
+
+exp::Job makeJob() {
+  exp::Job j;
+  j.series = "TLE-20";
+  j.x = 48;
+  j.trial = 1;
+  j.seed = 0x123456789abcdef0ULL;
+  j.config_json = R"({"nthreads":48,"seed":7})";
+  return j;
+}
+
+TEST(PointIo, JobKeyIsStableAndDiscriminating) {
+  const exp::Job j = makeJob();
+  EXPECT_EQ(exp::jobKey(j),
+            exp::jobKey(j.series, j.x, j.trial, j.seed, j.config_json));
+  EXPECT_NE(exp::jobKey(j), exp::jobKey("TLE-5", j.x, j.trial, j.seed,
+                                        j.config_json));
+  EXPECT_NE(exp::jobKey(j),
+            exp::jobKey(j.series, j.x, j.trial + 1, j.seed, j.config_json));
+  EXPECT_NE(exp::jobKey(j),
+            exp::jobKey(j.series, j.x, j.trial, j.seed, "{}"));
+}
+
+TEST(PointIo, OkRecordRoundTrips) {
+  exp::PointData p;
+  p.value = 12.75;
+  p.has_stats = true;
+  p.stats.ops = 0xfedcba9876543210ULL;  // > 2^53: must survive the trip
+  p.stats.tx_begins = 1000;
+  p.stats.tx_commits = 900;
+  p.stats.tx_aborts[static_cast<int>(htm::AbortReason::kConflict)] = 80;
+  p.stats.tx_aborts[static_cast<int>(htm::AbortReason::kSpurious)] = 20;
+  p.stats.lock_acquires = 5;
+  p.aux.emplace_back("update_mops", 3.5);
+  p.curve.emplace_back(0.0, 0.5);
+  p.curve.emplace_back(1.0, 0.75);
+  p.retries = 2;
+
+  workload::JsonWriter w;
+  appendRecordJson(w, makeJob(), p, 123.5);
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(parseJson(w.str(), &v, &err)) << err;
+  EXPECT_EQ(v.find("series")->str, "TLE-20");
+  EXPECT_EQ(v.find("config")->raw, makeJob().config_json);
+
+  exp::PointData q;
+  ASSERT_TRUE(exp::pointDataFromJson(v, &q));
+  EXPECT_EQ(q.status, exp::PointStatus::kOk);
+  EXPECT_DOUBLE_EQ(q.value, p.value);
+  ASSERT_TRUE(q.has_stats);
+  EXPECT_EQ(q.stats.ops, p.stats.ops);
+  EXPECT_EQ(q.stats.tx_aborts[static_cast<int>(htm::AbortReason::kConflict)],
+            80u);
+  EXPECT_EQ(q.stats.totalAborts(), p.stats.totalAborts());
+  ASSERT_EQ(q.aux.size(), 1u);
+  EXPECT_EQ(q.aux[0].first, "update_mops");
+  EXPECT_DOUBLE_EQ(q.aux[0].second, 3.5);
+  ASSERT_EQ(q.curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.curve[1].second, 0.75);
+  EXPECT_EQ(q.retries, 2);
+}
+
+TEST(PointIo, FailedRecordRoundTrips) {
+  exp::PointData p;
+  p.status = exp::PointStatus::kFailed;
+  p.failure_kind = "watchdog";
+  p.failure_diagnostic = "no progress\nthreads:\n  tid=0 state=blocked";
+
+  workload::JsonWriter w;
+  appendRecordJson(w, makeJob(), p, 7.0);
+  JsonValue v;
+  ASSERT_TRUE(parseJson(w.str(), &v, nullptr));
+  const JsonValue* failed = v.find("failed");
+  ASSERT_NE(failed, nullptr);
+  EXPECT_EQ(failed->find("kind")->str, "watchdog");
+
+  exp::PointData q;
+  ASSERT_TRUE(exp::pointDataFromJson(v, &q));
+  EXPECT_EQ(q.status, exp::PointStatus::kFailed);
+  EXPECT_EQ(q.failure_kind, p.failure_kind);
+  EXPECT_EQ(q.failure_diagnostic, p.failure_diagnostic);
+}
+
+TEST(PointIo, ChildPipePayloadRoundTrips) {
+  exp::PointData p;
+  p.value = 3.25;
+  p.has_stats = true;
+  p.stats.tx_begins = 10;
+  const std::string text = exp::pointDataToJson(p);
+  JsonValue v;
+  ASSERT_TRUE(parseJson(text, &v, nullptr));
+  exp::PointData q;
+  ASSERT_TRUE(exp::pointDataFromJson(v, &q));
+  EXPECT_DOUBLE_EQ(q.value, 3.25);
+  EXPECT_EQ(q.stats.tx_begins, 10u);
+}
+
+TEST(PointIo, LoadResumeSkipsFailedAndKeepsRawRecords) {
+  // A result file with one ok and one failed record, written through the
+  // real record writer so the raw slices match production bytes.
+  exp::Job ok = makeJob();
+  exp::Job bad = makeJob();
+  bad.trial = 2;
+  exp::PointData okp;
+  okp.value = 9.5;
+  exp::PointData badp;
+  badp.status = exp::PointStatus::kFailed;
+  badp.failure_kind = "timeout";
+
+  workload::JsonWriter w;
+  w.beginObject();
+  w.key("experiment").value("adversity_retry_policies");
+  w.key("points");
+  w.beginArray();
+  w.newline();
+  appendRecordJson(w, ok, okp, 11.0);
+  w.newline();
+  appendRecordJson(w, bad, badp, 12.0);
+  w.newline();
+  w.endArray();
+  w.endObject();
+
+  std::map<std::string, exp::ResumePoint> resume;
+  std::string name, err;
+  ASSERT_TRUE(exp::loadResumeFile(w.str(), &resume, &name, &err)) << err;
+  EXPECT_EQ(name, "adversity_retry_policies");
+  ASSERT_EQ(resume.size(), 1u);  // the failed record is rerun, not resumed
+  const auto it = resume.find(exp::jobKey(ok));
+  ASSERT_NE(it, resume.end());
+  EXPECT_DOUBLE_EQ(it->second.data.value, 9.5);
+  EXPECT_DOUBLE_EQ(it->second.wall_ms, 11.0);
+
+  // Splicing the stored raw text reproduces the original record bytes.
+  workload::JsonWriter w2;
+  exp::PointData resumed = it->second.data;
+  resumed.resumed_record = it->second.raw;
+  appendRecordJson(w2, ok, resumed, 999.0);  // wall_ms ignored for resumed
+  workload::JsonWriter w3;
+  appendRecordJson(w3, ok, okp, 11.0);
+  EXPECT_EQ(w2.str(), w3.str());
+}
+
+TEST(PointIo, LoadResumeRejectsMalformedFiles) {
+  std::map<std::string, exp::ResumePoint> resume;
+  std::string err;
+  EXPECT_FALSE(exp::loadResumeFile("not json", &resume, nullptr, &err));
+  EXPECT_FALSE(exp::loadResumeFile("[1,2,3]", &resume, nullptr, &err));
+  EXPECT_FALSE(exp::loadResumeFile("{\"experiment\":\"x\"}", &resume, nullptr,
+                                   &err));
+}
+
+}  // namespace
+}  // namespace natle

@@ -2,6 +2,7 @@
 // fallback, lock-held handling, lemming avoidance), NATLE mode machinery.
 #include <gtest/gtest.h>
 
+#include "sync/backoff_tle.hpp"
 #include "sync/natle.hpp"
 #include "sync/tatas.hpp"
 #include "sync/tle.hpp"
@@ -313,4 +314,44 @@ TEST(Natle, DecideModesWarmupAndAllSocketsFastest) {
   const auto all = NatleLock::decideModes({100, 200, 5000}, 256);
   EXPECT_EQ(all.fastest, 2);
   EXPECT_DOUBLE_EQ(all.slice, 1.0);
+}
+
+TEST(BackoffTle, PauseIsZeroForZeroInputs) {
+  EXPECT_EQ(BackoffTleLock::backoffPause(0, 5), 0u);
+  EXPECT_EQ(BackoffTleLock::backoffPause(1000, 0), 0u);
+  EXPECT_EQ(BackoffTleLock::backoffPause(0, 0), 0u);
+}
+
+TEST(BackoffTle, PauseScalesLinearlyThenSaturates) {
+  const uint64_t base = 1000;
+  EXPECT_EQ(BackoffTleLock::backoffPause(base, 1), base);
+  EXPECT_EQ(BackoffTleLock::backoffPause(base, 3), 3 * base);
+  EXPECT_EQ(BackoffTleLock::backoffPause(base, 63), 63 * base);
+  // At and beyond 64 attempts — an abort storm — the cap holds exactly.
+  EXPECT_EQ(BackoffTleLock::backoffPause(base, 64), 64 * base);
+  EXPECT_EQ(BackoffTleLock::backoffPause(base, 65), 64 * base);
+  EXPECT_EQ(BackoffTleLock::backoffPause(base, UINT64_MAX), 64 * base);
+}
+
+TEST(BackoffTle, PauseNeverOverflows) {
+  // Huge base: the cap itself saturates at UINT64_MAX instead of wrapping.
+  const uint64_t huge = UINT64_MAX / 2;
+  EXPECT_EQ(BackoffTleLock::backoffPause(huge, 1), huge);
+  EXPECT_EQ(BackoffTleLock::backoffPause(huge, 3), UINT64_MAX);
+  EXPECT_EQ(BackoffTleLock::backoffPause(huge, UINT64_MAX), UINT64_MAX);
+  EXPECT_EQ(BackoffTleLock::backoffPause(UINT64_MAX, 2), UINT64_MAX);
+  EXPECT_EQ(BackoffTleLock::backoffPause(UINT64_MAX, UINT64_MAX), UINT64_MAX);
+  // Product just past the cap boundary stays clamped.
+  EXPECT_EQ(BackoffTleLock::backoffPause(UINT64_MAX / 63, 63),
+            (UINT64_MAX / 63) * 63);
+}
+
+TEST(BackoffTle, PauseIsMonotoneInAttempts) {
+  const uint64_t base = 12345;
+  uint64_t prev = 0;
+  for (uint64_t a = 0; a < 130; ++a) {
+    const uint64_t p = BackoffTleLock::backoffPause(base, a);
+    EXPECT_GE(p, prev) << "attempts=" << a;
+    prev = p;
+  }
 }
