@@ -1,0 +1,82 @@
+// Scaling on the speculative 4-socket ring machine (Section 6): 144 hardware
+// threads across four sockets where opposite sockets are two interconnect
+// hops apart. Reruns the paper's sharpest NUMA workloads — search-and-replace
+// on a small key range (Figure 4's cliff) and the AVL update workload under
+// TLE and NATLE — to see whether the 2-socket cliff at the socket boundary
+// repeats at each additional socket crossing.
+#include <memory>
+#include <vector>
+
+#include "exp/exp.hpp"
+#include "workload/setbench.hpp"
+
+using namespace natle;
+using namespace natle::workload;
+
+namespace {
+
+std::vector<int> fourSocketAxis(const sim::MachineConfig& m, bool full) {
+  if (full) return threadAxis(m, true);
+  // Sparse axis dense around the three socket boundaries (36/72/108).
+  std::vector<int> axis;
+  const int total = m.totalThreads();
+  for (int i : {1, 4, 9, 18, 30, 36, 40, 54, 70, 72, 76, 90, 106, 108, 112,
+                126, 144}) {
+    if (i >= 1 && i <= total && (axis.empty() || i > axis.back())) {
+      axis.push_back(i);
+    }
+  }
+  return axis;
+}
+
+void planFourSocket(const BenchOptions& opt, exp::Plan& plan) {
+  auto sweep = std::make_shared<exp::SetSweep>(opt);
+  SetBenchConfig base;
+  base.machine = sim::FourSocketRing();
+  base.measure_ms = 1.5 * opt.time_scale;
+  base.warmup_ms = 0.6 * opt.time_scale;
+  const auto axis = fourSocketAxis(base.machine, opt.full);
+
+  SetBenchConfig sr = base;
+  sr.key_range = 4096;
+  sr.search_replace = true;
+  sr.sync = SyncKind::kTle;
+  for (int n : axis) {
+    sr.nthreads = n;
+    sweep->point(plan, "tle-sr-4096", n, sr);
+  }
+
+  SetBenchConfig avl = base;
+  avl.key_range = 2048;
+  avl.update_pct = 100;
+  for (int n : axis) {
+    avl.nthreads = n;
+    avl.sync = SyncKind::kTle;
+    sweep->point(plan, "tle-avl-2048", n, avl);
+    avl.sync = SyncKind::kNatle;
+    sweep->point(plan, "natle-avl-2048", n, avl);
+  }
+
+  plan.emit = [sweep](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    for (const auto& p : sweep->aggregate(results)) {
+      rows.push_back({p.series, p.x, p.r.mops});
+      rows.push_back({p.series + "-abort-rate", p.x, p.r.abort_rate});
+    }
+    return rows;
+  };
+}
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    four_socket, "four_socket_scaling",
+    "Search-replace and AVL workloads on the 4-socket ring (144 threads)",
+    "Section 6", "y = Mops/s; -abort-rate = aborts per tx begin",
+    planFourSocket);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("four_socket_scaling", argc, argv);
+}
+#endif

@@ -1,0 +1,86 @@
+// Data-placement shootout (Section 6 speculation): the same AVL workload
+// under each allocator placement policy. First-touch keeps a thread's nodes
+// on its own socket, interleave stripes lines round-robin, allocator-socket
+// piles everything onto socket 0, and adversarial-remote homes every
+// allocation on the farthest socket from the allocator. Placement shifts the
+// cross-socket share of both memory traffic and conflict aborts, so every
+// point runs traced and the emit hook derives those shares from the abort
+// attribution.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/exp.hpp"
+#include "mem/alloc.hpp"
+#include "workload/setbench.hpp"
+
+using namespace natle;
+using namespace natle::workload;
+
+namespace {
+
+void planMallocPlacement(const BenchOptions& opt, exp::Plan& plan) {
+  static const mem::PlacePolicy kPolicies[] = {
+      mem::PlacePolicy::kFirstTouch,
+      mem::PlacePolicy::kInterleave,
+      mem::PlacePolicy::kAllocatorSocket,
+      mem::PlacePolicy::kAdversarialRemote,
+  };
+  // Attribution (the cross-socket abort split) is the point of this
+  // experiment, so tracing is always on regardless of --trace.
+  BenchOptions topt = opt;
+  topt.trace = true;
+  auto sweep = std::make_shared<exp::SetSweep>(topt);
+  SetBenchConfig cfg;
+  cfg.key_range = 65536;
+  cfg.update_pct = 100;
+  cfg.sync = SyncKind::kTle;
+  cfg.tle = sync::Tle20();
+  cfg.measure_ms = 2.0 * opt.time_scale;
+  cfg.warmup_ms = 0.8 * opt.time_scale;
+  for (mem::PlacePolicy p : kPolicies) {
+    cfg.placement = p;
+    for (int n : {1, 2, 4, 8, 18, 36, 54, 72}) {
+      cfg.nthreads = n;
+      sweep->point(plan, mem::toString(p), n, cfg);
+    }
+  }
+  plan.emit = [sweep](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    for (const auto& p : sweep->aggregate(results)) {
+      rows.push_back({p.series, p.x, p.r.mops});
+      rows.push_back({p.series + "-abort-rate", p.x, p.r.abort_rate});
+      const auto& s = p.r.stats;
+      const uint64_t accesses =
+          s.l1_hits + s.local_hits + s.remote_transfers + s.dram_misses;
+      rows.push_back({p.series + "-remote-transfer-share", p.x,
+                      accesses > 0 ? static_cast<double>(s.remote_transfers) /
+                                         static_cast<double>(accesses)
+                                   : 0});
+      const auto& at = p.r.attribution;
+      const uint64_t attributed =
+          at.crossSocketAborts() + at.intraSocketAborts();
+      rows.push_back({p.series + "-cross-socket-abort-share", p.x,
+                      attributed > 0
+                          ? static_cast<double>(at.crossSocketAborts()) /
+                                static_cast<double>(attributed)
+                          : 0});
+    }
+    return rows;
+  };
+}
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    malloc_placement, "malloc_placement",
+    "AVL, 100% updates, keys [0,65536): TLE-20 under each placement policy",
+    "Section 6", "y = Mops/s; -abort-rate, -remote-transfer-share, "
+    "-cross-socket-abort-share = fractions",
+    planMallocPlacement);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("malloc_placement", argc, argv);
+}
+#endif

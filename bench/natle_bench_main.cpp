@@ -23,6 +23,7 @@
 
 #include "exp/exp.hpp"
 #include "fault/fault.hpp"
+#include "mem/alloc.hpp"
 #include "sim/config.hpp"
 #include "workload/json.hpp"
 
@@ -71,6 +72,10 @@ void printUsage(std::FILE* to) {
       "                           every point, e.g.\n"
       "                           'storm:rate=2e-4,period_ms=1,duration_ms=0.2;"
       "seed=7'\n"
+      "  --placement P            data-placement policy for shared\n"
+      "                           allocations: first-touch (default),\n"
+      "                           interleave, allocator-socket,\n"
+      "                           adversarial-remote\n"
       "  --watchdog-ms N          fail any point making no progress for N\n"
       "                           simulated ms (records it, keeps sweeping)\n"
       "  --isolate                fork each point into its own process;\n"
@@ -236,6 +241,10 @@ int cmdRun(int argc, char** argv) {
       opt.fault_spec = needValue(a);
     } else if (std::strncmp(a, "--fault=", 8) == 0) {
       opt.fault_spec = a + 8;
+    } else if (std::strcmp(a, "--placement") == 0) {
+      opt.placement = needValue(a);
+    } else if (std::strncmp(a, "--placement=", 12) == 0) {
+      opt.placement = a + 12;
     } else if (std::strcmp(a, "--watchdog-ms") == 0 ||
                std::strncmp(a, "--watchdog-ms=", 14) == 0) {
       const char* v = a[13] == '=' ? a + 14 : needValue(a);
@@ -286,6 +295,17 @@ int cmdRun(int argc, char** argv) {
     if (!fault::FaultSpec::parse(opt.fault_spec, &spec, &err)) {
       std::fprintf(stderr, "natle-bench: invalid --fault spec: %s\n",
                    err.c_str());
+      return 2;
+    }
+  }
+  if (!opt.placement.empty()) {
+    mem::PlacePolicy p;
+    if (!mem::parsePlacePolicy(opt.placement, &p)) {
+      std::fprintf(stderr,
+                   "natle-bench: invalid --placement value: \"%s\" (want "
+                   "first-touch, interleave, allocator-socket, or "
+                   "adversarial-remote)\n",
+                   opt.placement.c_str());
       return 2;
     }
   }

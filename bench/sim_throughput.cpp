@@ -1,0 +1,117 @@
+// Simulator-throughput microbenchmark: how many simulated cycles the
+// discrete-event core retires per wall-clock second. Runs one fixed Figure 2
+// data point (AVL, 100% updates, keys [0,131072), TLE-20, 36 threads) and
+// reports simulated thread-cycles per wall second, the capacity-planning
+// number for sweep runtimes. Wall-clock timing makes this inherently
+// machine-dependent, so it is a standalone binary only — never registered
+// with the experiment registry, whose outputs must be byte-deterministic.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "workload/json.hpp"
+#include "workload/options.hpp"
+#include "workload/setbench.hpp"
+
+using namespace natle;
+using namespace natle::workload;
+
+namespace {
+
+void printUsage(const char* prog, std::FILE* to) {
+  std::fprintf(to,
+               "usage: %s [--threads N] [--out FILE] [--help]\n"
+               "  --threads N  simulated thread count (default 36)\n"
+               "  --out FILE   JSON result path (default "
+               "BENCH_simthroughput.json)\n"
+               "environment:\n"
+               "  NATLE_SIM_SCALE=<float>  scale simulated trial length\n",
+               prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* prog = argc > 0 ? argv[0] : "sim_throughput";
+  std::string out_path = "BENCH_simthroughput.json";
+  int nthreads = 36;
+  double time_scale = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--threads") == 0 && i + 1 < argc) {
+      nthreads = std::atoi(argv[++i]);
+      if (nthreads < 1 || nthreads > 72) {
+        std::fprintf(stderr, "invalid --threads value (want 1..72)\n");
+        return 2;
+      }
+    } else if (std::strcmp(a, "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {
+      printUsage(prog, stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", a);
+      printUsage(prog, stderr);
+      return 2;
+    }
+  }
+  if (const char* s = std::getenv("NATLE_SIM_SCALE")) {
+    if (!BenchOptions::parseScale(s, &time_scale)) {
+      std::fprintf(stderr, "invalid NATLE_SIM_SCALE value: \"%s\"\n", s);
+      return 2;
+    }
+  }
+
+  SetBenchConfig cfg;
+  cfg.key_range = 131072;
+  cfg.update_pct = 100;
+  cfg.sync = SyncKind::kTle;
+  cfg.tle = sync::Tle20();
+  cfg.nthreads = nthreads;
+  cfg.measure_ms = 2.0 * time_scale;
+  cfg.warmup_ms = 0.8 * time_scale;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const SetBenchResult r = runSetBench(cfg);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Every simulated thread advances through the full warmup+measure window,
+  // so the work retired is (window cycles) x (thread count).
+  const double window_cycles =
+      static_cast<double>(cfg.machine.msToCycles(cfg.warmup_ms +
+                                                 cfg.measure_ms));
+  const double thread_cycles = window_cycles * nthreads;
+  const double cycles_per_s = wall_s > 0 ? thread_cycles / wall_s : 0;
+
+  JsonWriter w;
+  w.beginObject();
+  w.key("bench").value("sim_throughput");
+  w.key("nthreads").value(nthreads);
+  w.key("sim_scale").value(time_scale);
+  w.key("window_ms").value(cfg.warmup_ms + cfg.measure_ms);
+  w.key("thread_cycles").value(thread_cycles);
+  w.key("wall_s").value(wall_s);
+  w.key("thread_cycles_per_wall_s").value(cycles_per_s);
+  w.key("mops").value(r.mops);
+  w.key("abort_rate").value(r.abort_rate);
+  w.endObject().newline();
+  const std::string body = w.take();
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+
+  std::printf("threads=%d wall=%.2fs thread-cycles=%.3g -> %.3g "
+              "simulated thread-cycles/s (%.2f Mops/s simulated)\n",
+              nthreads, wall_s, thread_cycles, cycles_per_s, r.mops);
+  std::printf("results: %s\n", out_path.c_str());
+  return 0;
+}

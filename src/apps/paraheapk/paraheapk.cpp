@@ -54,9 +54,16 @@ ParaheapResult runParaheapK(const ParaheapConfig& cfg) {
       }
     }
   }
-  // Per-worker partial sums, one row of lines per worker slot.
+  // Per-worker partial sums, one row of lines per worker slot. Zeroed
+  // explicitly: the coordinator reads these after every phase (including
+  // phase 0, which never writes them), and arena memory recycled from an
+  // earlier run in the same process is not zero.
   auto* partial = static_cast<int64_t*>(env.allocShared(
       static_cast<size_t>(cfg.nthreads) * kCentroids * 8 * sizeof(int64_t)));
+  for (int64_t i = 0; i < static_cast<int64_t>(cfg.nthreads) * kCentroids * 8;
+       ++i) {
+    partial[i] = 0;
+  }
 
   const int64_t per_thread = (npoints + cfg.nthreads - 1) / cfg.nthreads;
 

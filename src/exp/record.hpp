@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "htm/stats.hpp"
+#include "obs/attribution.hpp"
 
 namespace natle::exp {
 
@@ -35,6 +36,11 @@ struct PointData {
   // hot lines) when the job ran with tracing; empty otherwise. Spliced into
   // the JSON record verbatim.
   std::string attribution_json;
+  // The same attribution in structured form so emit() hooks can derive
+  // cross-point metrics (e.g. cross-socket abort share) without re-parsing
+  // the JSON. Never serialized directly.
+  bool has_attribution = false;
+  obs::Attribution attribution;
 
   PointStatus status = PointStatus::kOk;
   // Failure classification when status == kFailed: "watchdog", "deadlock",

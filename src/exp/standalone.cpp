@@ -7,6 +7,7 @@
 
 #include "exp/runner.hpp"
 #include "fault/fault.hpp"
+#include "mem/alloc.hpp"
 
 namespace natle::exp {
 
@@ -15,7 +16,7 @@ namespace {
 void printUsage(const char* prog, std::FILE* to) {
   std::fprintf(to,
                "usage: %s [--full] [--jobs N] [--progress] [--fault SPEC]\n"
-               "       [--watchdog-ms N] [--help]\n"
+               "       [--placement P] [--watchdog-ms N] [--help]\n"
                "  --full       denser thread axis, longer trials, 3 "
                "trials/point\n"
                "  --jobs N     run data points on N worker threads (0 = all "
@@ -23,6 +24,9 @@ void printUsage(const char* prog, std::FILE* to) {
                "  --progress   per-data-point completion lines on stderr\n"
                "  --fault SPEC     inject a deterministic fault schedule "
                "into every point\n"
+               "  --placement P    data-placement policy: first-touch, "
+               "interleave,\n"
+               "                   allocator-socket, adversarial-remote\n"
                "  --watchdog-ms N  fail any point making no progress for N "
                "simulated ms\n"
                "environment:\n"
@@ -79,6 +83,10 @@ int standaloneMain(const char* experiment_name, int argc, char** argv) {
       opt.fault_spec = a + 8;
     } else if (std::strcmp(a, "--fault") == 0 && i + 1 < argc) {
       opt.fault_spec = argv[++i];
+    } else if (std::strncmp(a, "--placement=", 12) == 0) {
+      opt.placement = a + 12;
+    } else if (std::strcmp(a, "--placement") == 0 && i + 1 < argc) {
+      opt.placement = argv[++i];
     } else if (std::strncmp(a, "--watchdog-ms=", 14) == 0 ||
                (std::strcmp(a, "--watchdog-ms") == 0 && i + 1 < argc)) {
       const char* v = a[13] == '=' ? a + 14 : argv[++i];
@@ -109,6 +117,16 @@ int standaloneMain(const char* experiment_name, int argc, char** argv) {
     std::string err;
     if (!fault::FaultSpec::parse(opt.fault_spec, &spec, &err)) {
       std::fprintf(stderr, "invalid --fault spec: %s\n", err.c_str());
+      return 2;
+    }
+  }
+  if (!opt.placement.empty()) {
+    mem::PlacePolicy p;
+    if (!mem::parsePlacePolicy(opt.placement, &p)) {
+      std::fprintf(stderr,
+                   "invalid --placement value: \"%s\" (want first-touch, "
+                   "interleave, allocator-socket, or adversarial-remote)\n",
+                   opt.placement.c_str());
       return 2;
     }
   }

@@ -11,7 +11,11 @@ PointData runSetBenchPoint(const workload::SetBenchConfig& cfg) {
   p.value = r.mops;
   p.stats = r.stats;
   p.has_stats = true;
-  if (r.has_attribution) p.attribution_json = r.attribution.toJson();
+  if (r.has_attribution) {
+    p.attribution_json = r.attribution.toJson();
+    p.has_attribution = true;
+    p.attribution = r.attribution;
+  }
   return p;
 }
 
@@ -24,6 +28,11 @@ SetSweep::SetSweep(const workload::BenchOptions& opt, int trials_override)
     // (impossible via the CLIs) just leaves faults disabled.
     fault::FaultSpec::parse(opt.fault_spec, &fault_, nullptr);
   }
+  if (!opt.placement.empty()) {
+    // Same contract: CLIs reject bad spellings up front, so an unparsable
+    // name here simply keeps the default first-touch policy.
+    mem::parsePlacePolicy(opt.placement, &placement_);
+  }
 }
 
 void SetSweep::point(Plan& plan, std::string series, double x,
@@ -35,6 +44,7 @@ void SetSweep::point(Plan& plan, std::string series, double x,
     c.trace = trace_;
     if (!c.fault.enabled() && fault_.enabled()) c.fault = fault_;
     if (c.watchdog_ms <= 0 && watchdog_ms_ > 0) c.watchdog_ms = watchdog_ms_;
+    if (c.placement == mem::PlacePolicy::kFirstTouch) c.placement = placement_;
     // Same per-trial seed derivation runSetBench used internally, so a
     // sharded sweep reproduces the serial sweep's numbers exactly.
     c.seed = cfg.seed + 1000003ULL * static_cast<uint64_t>(t);
@@ -84,6 +94,10 @@ std::vector<SetSweep::Agg> SetSweep::aggregate(
       if (p.status != PointStatus::kOk) continue;
       mops_sum += p.value;
       a.r.stats += p.stats;
+      if (p.has_attribution) {
+        a.r.has_attribution = true;
+        a.r.attribution += p.attribution;
+      }
       ok_trials++;
     }
     if (ok_trials == 0) continue;

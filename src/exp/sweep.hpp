@@ -56,6 +56,8 @@ class SetSweep {
   // its own (a point's explicit cfg.fault/cfg.watchdog_ms wins).
   fault::FaultSpec fault_;
   double watchdog_ms_ = 0;
+  // CLI-level data placement, applied to points left at the default policy.
+  mem::PlacePolicy placement_ = mem::PlacePolicy::kFirstTouch;
 };
 
 }  // namespace natle::exp

@@ -133,6 +133,10 @@ bool FaultSpec::parse(const std::string& spec, FaultSpec* out, std::string* err)
         if (ok) r.squeeze_ways = static_cast<uint32_t>(w);
       } else if (chan == "link" && k == "extra") {
         ok = parseU64Field(v, &r.link_extra);
+      } else if (chan == "link" && k == "from") {
+        ok = parseIntField(v, &r.link_from) && r.link_from >= 0;
+      } else if (chan == "link" && k == "to") {
+        ok = parseIntField(v, &r.link_to) && r.link_to >= 0;
       } else if (chan == "stall" && k == "cycles") {
         ok = parseU64Field(v, &r.stall_cycles);
       } else {
@@ -168,6 +172,8 @@ std::string FaultSpec::toSpecString() const {
   if (link_extra > 0 || link.enabled()) {
     sep();
     out += "link:extra=" + numToString(link_extra);
+    if (link_from >= 0) out += ",from=" + numToString(uint64_t(link_from));
+    if (link_to >= 0) out += ",to=" + numToString(uint64_t(link_to));
     appendBurst(&out, link);
   }
   if (stall_cycles > 0 || stall.enabled()) {
@@ -280,6 +286,22 @@ uint32_t FaultSchedule::maskedWays(int core_global, uint64_t now) {
 
 uint64_t FaultSchedule::linkPenalty(uint64_t now) {
   if (spec_.link_extra == 0) return 0;
+  return link_.covers(now) ? spec_.link_extra : 0;
+}
+
+uint64_t FaultSchedule::linkPenalty(int a, int b, uint64_t now) {
+  if (spec_.link_extra == 0) return 0;
+  if (spec_.link_from >= 0 && spec_.link_to >= 0) {
+    // Exact unordered pair.
+    const int lo = std::min(a, b), hi = std::max(a, b);
+    const int flo = std::min(spec_.link_from, spec_.link_to);
+    const int fhi = std::max(spec_.link_from, spec_.link_to);
+    if (lo != flo || hi != fhi) return 0;
+  } else if (spec_.link_from >= 0 || spec_.link_to >= 0) {
+    // All links incident to the named socket.
+    const int only = spec_.link_from >= 0 ? spec_.link_from : spec_.link_to;
+    if (a != only && b != only) return 0;
+  }
   return link_.covers(now) ? spec_.link_extra : 0;
 }
 

@@ -9,7 +9,8 @@
 //   squeeze  transient per-core L1 capacity squeeze: masks ways to model
 //            SMT-sibling / prefetcher pressure (L1Cache::insert)
 //   link     NUMA latency spikes: extra occupancy per cross-socket transfer
-//            (Env::linkDelay via Directory)
+//            (mem::Interconnect::transferDelay), optionally targeting one
+//            socket pair or all links incident to a socket
 //   stall    lock-holder stall: extra cycles charged inside the TLE/NATLE
 //            fallback critical section, manufacturing lemming cascades
 //
@@ -58,6 +59,11 @@ struct FaultSpec {
 
   BurstCfg link;
   uint64_t link_extra = 0;  // extra link-occupancy cycles per transfer
+  // Socket-pair targeting for the link channel. Both set: only the {from,to}
+  // link is perturbed. Only `from` set: every link incident to that socket.
+  // Both -1 (default): all links.
+  int link_from = -1;
+  int link_to = -1;
 
   BurstCfg stall;
   uint64_t stall_cycles = 0;  // extra cycles charged to a fallback lock holder
@@ -128,8 +134,12 @@ class FaultSchedule {
   // by the caller to ways-1.
   uint32_t maskedWays(int core_global, uint64_t now);
 
-  // Extra link occupancy per cross-socket transfer at `now`.
+  // Extra link occupancy per cross-socket transfer at `now`, ignoring any
+  // pair targeting (legacy single-link query; kept for schedule-level tests).
   uint64_t linkPenalty(uint64_t now);
+  // Extra occupancy for a transfer on the {a, b} link at `now`; 0 when the
+  // spec targets a different pair.
+  uint64_t linkPenalty(int a, int b, uint64_t now);
 
   // Extra cycles a fallback-lock holder must burn if it acquired at `now`.
   uint64_t lockHolderStall(uint64_t now);

@@ -30,7 +30,7 @@ AbortStatus decodeStatus(unsigned status) {
 ThreadCtx::ThreadCtx(Env& env, sim::SimThread* st) : env_(env), st_(st) {
   env_.stats_.emplace_back();
   stats_ = &env_.stats_.back();
-  l1_ = &env_.l1s_[st_->slot.core_global];
+  l1_ = &env_.mem_.l1(st_->slot.core_global);
   txn_.owner = this;
 }
 
@@ -43,6 +43,15 @@ uint64_t ThreadCtx::nowNs() const {
 }
 
 void ThreadCtx::chargeMem(uint64_t cycles) { env_.machine_.charge(*st_, cycles); }
+
+void ThreadCtx::countClass(mem::AccessClass cls) {
+  switch (cls) {
+    case mem::AccessClass::kL1Hit: stats_->l1_hits++; break;
+    case mem::AccessClass::kLocalHit: stats_->local_hits++; break;
+    case mem::AccessClass::kRemoteTransfer: stats_->remote_transfers++; break;
+    case mem::AccessClass::kDramMiss: stats_->dram_misses++; break;
+  }
+}
 
 void ThreadCtx::work(uint64_t cycles) {
   if (setupMode()) return;
@@ -117,7 +126,7 @@ void ThreadCtx::handleCapacityEviction(const mem::L1Cache::InsertResult& ir) {
       e.socket = static_cast<int8_t>(socket());
       e.killer_tid = static_cast<int16_t>(v->owner->tid());  // the victim
       e.killer_socket = static_cast<int8_t>(v->owner->socket());
-      e.line = env_.alloc_.stableLineId(ir.victim_line);
+      e.line = env_.mem_.allocator().stableLineId(ir.victim_line);
       e.set = ir.victim_set;
       e.way = ir.victim_way;
       tr->record(e);
@@ -155,7 +164,6 @@ void ThreadCtx::accessRead(const void* addr) {
                  (unsigned long long)v);
   }
   env_.auditConsistency("read");
-  const auto& cfg = env_.cfg();
   const uint64_t line = mem::lineOf(addr);
   Txn* tx = txn_.in_flight ? &txn_ : nullptr;
   const bool count = st_->clock >= env_.stats_start_;
@@ -173,7 +181,7 @@ void ThreadCtx::accessRead(const void* addr) {
     e = nullptr;
   }
   if (e != nullptr) {
-    chargeMem(cfg.l1_hit);
+    chargeMem(env_.mem_.l1HitCost());
     if (count) stats_->l1_hits++;
     if (tx != nullptr && !l1_->ownedBy(e, tx)) {
       registerRead(line, *e->state);
@@ -183,32 +191,21 @@ void ThreadCtx::accessRead(const void* addr) {
       l1_->tag(e, tx);
     }
   } else {
-    mem::LineState& s = env_.dir_.lookup(line, env_.alloc_.homeOf(line));
+    mem::LineState& s = env_.mem_.lookup(line);
     if (s.tx_writer != nullptr && s.tx_writer != &txn_) {
       // Our fetch invalidates the writer's buffered line: it aborts.
       env_.abortTxn(*static_cast<Txn*>(s.tx_writer), AbortReason::kConflict,
                     /*may_retry=*/true, 0, this, line);
     }
-    const int sock = st_->slot.socket;
-    uint32_t lat;
-    if (s.owner_socket == sock || s.hasSharer(sock)) {
-      lat = cfg.local_hit;
-      if (count) stats_->local_hits++;
-    } else if (s.owner_socket >= 0) {
-      // Modified in the other socket: cross-socket cache-to-cache transfer.
-      lat = cfg.remote_transfer + env_.linkDelay(st_->clock);
-      if (count) stats_->remote_transfers++;
-      s.owner_socket = -1;  // downgrades to shared
-    } else {
-      // Clean (or uncached): served from the home node's memory; a clean
-      // copy in the other socket does not make this more expensive.
-      lat = s.home_socket == sock ? cfg.local_dram
-                                  : cfg.remote_dram + env_.linkDelay(st_->clock);
-      if (count) stats_->dram_misses++;
-    }
-    s.addSharer(sock);
-    chargeMem(lat);
-    const auto ir = l1_->insert(line, &s, tx, env_.faultMaskedWays(*st_));
+    // Conflicts resolved; the memory system prices and performs the fill.
+    // The L1 install samples the way squeeze *after* the fill latency has
+    // been charged (the insertion happens when the data arrives).
+    const mem::Access a =
+        env_.mem_.fillRead(line, s, st_->slot.socket, st_->clock);
+    chargeMem(a.latency);
+    if (count) countClass(a.cls);
+    const auto ir = env_.mem_.install(line, s, st_->slot.core_global, tx,
+                                      env_.faultMaskedWays(*st_));
     if (ir.capacity_victim != nullptr) handleCapacityEviction(ir);
     if (tx != nullptr) registerRead(line, s);
   }
@@ -233,18 +230,16 @@ void ThreadCtx::accessWrite(void* addr, uint64_t bits, uint8_t size) {
   assert(&env_.machine_.current() == st_);
   checkPendingAbort();
   env_.auditConsistency("write");
-  const auto& cfg = env_.cfg();
   const uint64_t line = mem::lineOf(addr);
   Txn* tx = txn_.in_flight ? &txn_ : nullptr;
   const bool count = st_->clock >= env_.stats_start_;
-  const int sock = st_->slot.socket;
 
   if (env_.debug_trace_tid == tid()) {
     std::fprintf(stderr, "  [t=%llu tid=%d] W %p := %llx\n",
                  (unsigned long long)st_->clock, tid(), addr,
                  (unsigned long long)bits);
   }
-  mem::LineState& s = env_.dir_.lookup(line, env_.alloc_.homeOf(line));
+  mem::LineState& s = env_.mem_.lookup(line);
 
   // Requester wins: our ownership request kills every other transaction
   // holding this line.
@@ -263,34 +258,12 @@ void ThreadCtx::accessWrite(void* addr, uint64_t bits, uint8_t size) {
                   line);
   }
 
-  // Latency: ownership acquisition.
-  uint32_t lat;
-  const bool l1hit = l1_->probe(line) != nullptr;
-  const uint16_t remote_sharers =
-      static_cast<uint16_t>(s.sharer_mask & ~(1u << sock));
-  if (s.owner_socket == sock) {
-    lat = l1hit ? cfg.l1_hit : cfg.local_hit;
-    if (count) (l1hit ? stats_->l1_hits : stats_->local_hits)++;
-  } else if (s.owner_socket >= 0 && s.owner_socket != sock) {
-    // Modified in the other socket: full cross-socket transfer for ownership.
-    lat = cfg.remote_transfer + env_.linkDelay(st_->clock);
-    if (count) stats_->remote_transfers++;
-  } else if (remote_sharers != 0) {
-    // Clean copies in the other socket must be invalidated (snoop round),
-    // cheaper than pulling a modified line.
-    lat = cfg.remote_inval + env_.linkDelay(st_->clock);
-    if (count) stats_->remote_transfers++;
-  } else if (s.hasSharer(sock)) {
-    lat = (l1hit ? cfg.l1_hit : cfg.local_hit) + cfg.store_upgrade;
-    if (count) (l1hit ? stats_->l1_hits : stats_->local_hits)++;
-  } else {
-    lat = (s.home_socket == sock
-               ? cfg.local_dram
-               : cfg.remote_dram + env_.linkDelay(st_->clock)) +
-          cfg.store_upgrade;
-    if (count) stats_->dram_misses++;
-  }
-  chargeMem(lat);
+  // Conflicts resolved; the memory system prices the ownership acquisition
+  // and applies the coherence transition.
+  const mem::Access a = env_.mem_.fillWrite(line, s, st_->slot.socket,
+                                            st_->slot.core_global, st_->clock);
+  chargeMem(a.latency);
+  if (count) countClass(a.cls);
 
   // Apply the store (undo-logged when transactional).
   if (tx != nullptr) {
@@ -302,11 +275,9 @@ void ThreadCtx::accessWrite(void* addr, uint64_t bits, uint8_t size) {
     txn_.undo.push_back(u);
   }
   std::memcpy(addr, &bits, size);
-  s.version++;
-  s.owner_socket = static_cast<int8_t>(sock);
-  s.sharer_mask = static_cast<uint16_t>(1u << sock);
 
-  const auto ir = l1_->insert(line, &s, tx, env_.faultMaskedWays(*st_));
+  const auto ir = env_.mem_.install(line, s, st_->slot.core_global, tx,
+                                    env_.faultMaskedWays(*st_));
   if (ir.capacity_victim != nullptr) handleCapacityEviction(ir);
 
   if (tx != nullptr && s.tx_writer != &txn_) {
@@ -358,14 +329,14 @@ void ThreadCtx::txCommit() {
   env_.machine_.chargeWork(*st_, env_.cfg().tx_commit_cost);
   spuriousHazard();  // may longjmp: the hazard covers time up to commit
   for (uint64_t line : txn_.write_lines) {
-    mem::LineState* s = env_.dir_.find(line);
+    mem::LineState* s = env_.mem_.directory().find(line);
     if (s != nullptr && s->tx_writer == &txn_) s->tx_writer = nullptr;
   }
   for (uint64_t line : txn_.read_lines) {
-    mem::LineState* s = env_.dir_.find(line);
+    mem::LineState* s = env_.mem_.directory().find(line);
     if (s != nullptr) s->tx_readers.erase_unordered(&txn_);
   }
-  for (void* p : txn_.tx_frees) env_.alloc_.free(p);
+  for (void* p : txn_.tx_frees) env_.mem_.allocator().free(p);
   txn_.in_flight = false;
   env_.in_flight_count_--;
   if (st_->clock >= env_.stats_start_) {
@@ -398,7 +369,7 @@ void* ThreadCtx::alloc(size_t bytes) {
   // was retired, in_flight is false and this allocation would escape the
   // tx_allocs log.
   if (!setupMode()) checkPendingAbort();
-  void* p = env_.alloc_.alloc(bytes, setupMode() ? 0 : socket());
+  void* p = env_.mem_.allocator().alloc(bytes, setupMode() ? 0 : socket());
   if (!setupMode()) {
     env_.machine_.chargeWork(*st_, 40);
     if (txn_.in_flight) txn_.tx_allocs.push_back(p);
@@ -420,7 +391,7 @@ void ThreadCtx::free(void* p) {
       return;
     }
   }
-  env_.alloc_.free(p);
+  env_.mem_.allocator().free(p);
 }
 
 bool ThreadCtx::opBoundary() {
@@ -429,7 +400,7 @@ bool ThreadCtx::opBoundary() {
   // lock-based or lock-free sync modes must not trip the watchdog).
   env_.machine_.noteProgress(st_->clock);
   if (env_.machine_.maybeMigrate(*st_)) {
-    l1_ = &env_.l1s_[st_->slot.core_global];
+    l1_ = &env_.mem_.l1(st_->slot.core_global);
     return true;
   }
   return false;
@@ -437,13 +408,9 @@ bool ThreadCtx::opBoundary() {
 
 // ---------------------------------------------------------------------------
 
-Env::Env(const sim::MachineConfig& cfg, bool pad_alloc)
-    : machine_(cfg), alloc_(pad_alloc) {
-  l1s_.reserve(cfg.coresTotal());
-  for (int i = 0; i < cfg.coresTotal(); ++i) {
-    l1s_.emplace_back(cfg.l1_sets, cfg.l1_ways);
-  }
-}
+Env::Env(const sim::MachineConfig& cfg, bool pad_alloc,
+         mem::PlacePolicy placement)
+    : machine_(cfg), mem_(cfg, pad_alloc, placement) {}
 
 sim::SimThread* Env::spawnWorker(std::function<void(ThreadCtx&)> fn,
                                  sim::HwSlot slot, bool pinned,
@@ -478,7 +445,7 @@ TxStats Env::totals() const {
 void Env::installFaults(const fault::FaultSpec& spec) {
   if (!spec.enabled()) return;
   faults_ = std::make_unique<fault::FaultSchedule>(spec, cfg());
-  dir_.setFaults(faults_.get());
+  mem_.setFaults(faults_.get());
 }
 
 void Env::enableWatchdog(uint64_t budget_cycles) {
@@ -512,7 +479,7 @@ void Env::appendDiagnostic(std::string& out) {
     const size_t shown = lines.size() < 16 ? lines.size() : 16;
     for (size_t i = 0; i < shown; ++i) {
       out += ' ';
-      out += std::to_string(alloc_.stableLineId(lines[i]));
+      out += std::to_string(mem_.allocator().stableLineId(lines[i]));
     }
     if (lines.size() > shown) {
       out += " ...(+" + std::to_string(lines.size() - shown) + ")";
@@ -554,7 +521,7 @@ void Env::auditConsistency(const char* where) {
     Txn& t = ctx->txn_;
     if (!t.in_flight) continue;
     for (uint64_t line : t.write_lines) {
-      mem::LineState* s = dir_.find(line);
+      mem::LineState* s = mem_.directory().find(line);
       if (s == nullptr || s->tx_writer != &t) {
         std::fprintf(stderr, "AUDIT[%s]: tid %d write line %llx not owned\n",
                      where, ctx->tid(), (unsigned long long)line);
@@ -562,7 +529,7 @@ void Env::auditConsistency(const char* where) {
       }
     }
     for (uint64_t line : t.read_lines) {
-      mem::LineState* s = dir_.find(line);
+      mem::LineState* s = mem_.directory().find(line);
       const bool folded = s != nullptr && s->tx_writer == &t;
       if (s == nullptr || (!folded && !s->tx_readers.contains(&t))) {
         std::fprintf(stderr, "AUDIT[%s]: tid %d read line %llx not registered\n",
@@ -572,7 +539,7 @@ void Env::auditConsistency(const char* where) {
     }
   }
   // Reverse: every directory registration refers to a live, matching tx.
-  dir_.forEach([&](uint64_t line, mem::LineState& s) {
+  mem_.directory().forEach([&](uint64_t line, mem::LineState& s) {
     if (s.tx_writer != nullptr) {
       Txn* w = static_cast<Txn*>(s.tx_writer);
       bool listed = false;
@@ -622,7 +589,7 @@ void Env::debugDumpInFlight(uint64_t interesting_line) {
     for (uint64_t l : t.read_lines) has |= (l == interesting_line);
     std::fprintf(stderr, "  lock line 0x%llx in read set: %d\n",
                  (unsigned long long)interesting_line, (int)has);
-    mem::LineState* s = dir_.find(interesting_line);
+    mem::LineState* s = mem_.directory().find(interesting_line);
     if (s != nullptr) {
       std::fprintf(stderr, "  lock line readers=%zu writer=%p version=%u\n",
                    s->tx_readers.size(), (void*)s->tx_writer, s->version);
@@ -648,22 +615,17 @@ void Env::abortTxn(Txn& v, AbortReason reason, bool may_retry, uint8_t code,
   v.undo.clear();
   const int victim_socket = v.owner->socket();
   for (uint64_t line : v.write_lines) {
-    mem::LineState* s = dir_.find(line);
+    mem::LineState* s = mem_.directory().find(line);
     if (s != nullptr && s->tx_writer == &v) {
       s->tx_writer = nullptr;
-      // The speculative L1 copy is discarded, but the pre-transaction value
-      // is still present in the victim socket's LLC (transactional stores
-      // never reached it), so the line stays cached there.
-      s->version++;
-      s->owner_socket = -1;
-      s->sharer_mask = static_cast<uint16_t>(1u << victim_socket);
+      mem_.rollbackWrite(*s, victim_socket);
     }
   }
   for (uint64_t line : v.read_lines) {
-    mem::LineState* s = dir_.find(line);
+    mem::LineState* s = mem_.directory().find(line);
     if (s != nullptr) s->tx_readers.erase_unordered(&v);
   }
-  for (void* p : v.tx_allocs) alloc_.free(p);
+  for (void* p : v.tx_allocs) mem_.allocator().free(p);
   v.tx_allocs.clear();
   v.tx_frees.clear();
   ThreadCtx* o = v.owner;
@@ -690,7 +652,7 @@ void Env::abortTxn(Txn& v, AbortReason reason, bool may_retry, uint8_t code,
         e.killer_tid = static_cast<int16_t>(killer->tid());
         e.killer_socket = static_cast<int8_t>(killer->socket());
       }
-      e.line = line != 0 ? alloc_.stableLineId(line) : 0;
+      e.line = line != 0 ? mem_.allocator().stableLineId(line) : 0;
       e.attempt = v.attempt_in_seq;
       tracer_->record(e);
     }

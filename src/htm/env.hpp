@@ -13,9 +13,7 @@
 #include "fault/fault.hpp"
 #include "htm/stats.hpp"
 #include "htm/txn.hpp"
-#include "mem/alloc.hpp"
-#include "mem/directory.hpp"
-#include "mem/l1.hpp"
+#include "mem/memsystem.hpp"
 #include "sim/machine.hpp"
 
 namespace natle::obs {
@@ -175,6 +173,7 @@ class ThreadCtx {
       const mem::L1Cache::InsertResult& ir);
   void registerRead(uint64_t line, mem::LineState& s);
   void chargeMem(uint64_t cycles);
+  void countClass(mem::AccessClass cls);
   static unsigned encodeStatus(const AbortStatus& a);
 
   Env& env_;
@@ -202,7 +201,8 @@ AbortStatus decodeStatus(unsigned status);
 
 class Env {
  public:
-  explicit Env(const sim::MachineConfig& cfg, bool pad_alloc = true);
+  explicit Env(const sim::MachineConfig& cfg, bool pad_alloc = true,
+               mem::PlacePolicy placement = mem::PlacePolicy::kFirstTouch);
 
   sim::Machine& machine() { return machine_; }
   const sim::MachineConfig& cfg() const { return machine_.cfg(); }
@@ -218,7 +218,7 @@ class Env {
 
   // Shared allocation outside simulated time (locks, trial state).
   void* allocShared(size_t bytes, int home_socket = 0) {
-    return alloc_.alloc(bytes, home_socket);
+    return mem_.allocator().alloc(bytes, home_socket);
   }
 
   // Counters accumulate only at/after this simulated time.
@@ -227,9 +227,11 @@ class Env {
 
   TxStats totals() const;
 
-  mem::SimAllocator& allocator() { return alloc_; }
-  mem::Directory& directory() { return dir_; }
-  mem::L1Cache& l1(int core) { return l1s_[core]; }
+  // The memory hierarchy (allocator, directory, L1 filters, interconnect).
+  mem::MemorySystem& memory() { return mem_; }
+  mem::SimAllocator& allocator() { return mem_.allocator(); }
+  mem::Directory& directory() { return mem_.directory(); }
+  mem::L1Cache& l1(int core) { return mem_.l1(core); }
 
   // Abort a victim transaction on behalf of a requester (or the hazard
   // machinery). Rolls back memory immediately. `killer` identifies the
@@ -243,17 +245,6 @@ class Env {
   // traced run is observationally identical to an untraced one.
   void setTracer(obs::Tracer* t) { tracer_ = t; }
   obs::Tracer* tracer() const { return tracer_; }
-
-  // Cross-socket link bandwidth model: called for every remote transfer.
-  // Returns the queueing delay at time `now` and reserves the link. During a
-  // fault-injected NUMA spike window the transfer both pays extra latency and
-  // occupies the link longer (queueing amplification, as on real hardware).
-  uint64_t linkDelay(uint64_t now) {
-    const uint64_t spike = dir_.interconnectPenalty(now);
-    const uint64_t start = now > link_free_ ? now : link_free_;
-    link_free_ = start + cfg().link_occupancy + spike;
-    return start - now + spike;
-  }
 
   // --- fault injection -----------------------------------------------------
   // Install a deterministic fault schedule for this Env's trial. Call before
@@ -309,9 +300,7 @@ class Env {
   friend class ThreadCtx;
 
   sim::Machine machine_;
-  mem::SimAllocator alloc_;
-  mem::Directory dir_;
-  std::vector<mem::L1Cache> l1s_;
+  mem::MemorySystem mem_;
   std::deque<TxStats> stats_;
   std::deque<std::unique_ptr<ThreadCtx>> ctxs_;
   uint64_t stats_start_ = 0;
@@ -319,7 +308,6 @@ class Env {
   std::unique_ptr<sim::SimThread> setup_thread_;
   std::unique_ptr<ThreadCtx> setup_ctx_;
   int in_flight_count_ = 0;
-  uint64_t link_free_ = 0;
   bool debug_audit_ = false;
   obs::Tracer* tracer_ = nullptr;
   std::unique_ptr<fault::FaultSchedule> faults_;

@@ -3,41 +3,104 @@
 #include <cstdlib>
 #include <new>
 
+#include "sim/config.hpp"
+
 namespace natle::mem {
+
+const char* toString(PlacePolicy p) {
+  switch (p) {
+    case PlacePolicy::kFirstTouch: return "first-touch";
+    case PlacePolicy::kInterleave: return "interleave";
+    case PlacePolicy::kAllocatorSocket: return "allocator-socket";
+    case PlacePolicy::kAdversarialRemote: return "adversarial-remote";
+  }
+  return "?";
+}
+
+bool parsePlacePolicy(const std::string& s, PlacePolicy* out) {
+  for (PlacePolicy p :
+       {PlacePolicy::kFirstTouch, PlacePolicy::kInterleave,
+        PlacePolicy::kAllocatorSocket, PlacePolicy::kAdversarialRemote}) {
+    if (s == toString(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+SimAllocator::SimAllocator(bool pad_to_line, PlacePolicy place,
+                           const sim::MachineConfig* cfg)
+    : pad_(pad_to_line), place_(place), sockets_(cfg != nullptr ? cfg->sockets : 2) {
+  if (sockets_ < 1) sockets_ = 1;
+  farthest_.resize(static_cast<size_t>(sockets_));
+  for (int a = 0; a < sockets_; ++a) {
+    // Farthest socket by hop count, ties toward the lowest id; with one
+    // socket "remote" degenerates to the socket itself.
+    int best = a == 0 && sockets_ > 1 ? 1 : 0;
+    int best_hops = cfg != nullptr ? cfg->hops(a, best) : (a == best ? 0 : 1);
+    for (int b = 0; b < sockets_; ++b) {
+      if (b == a) continue;
+      const int h = cfg != nullptr ? cfg->hops(a, b) : 1;
+      if (h > best_hops) {
+        best = b;
+        best_hops = h;
+      }
+    }
+    farthest_[static_cast<size_t>(a)] = static_cast<int8_t>(best);
+  }
+}
 
 SimAllocator::~SimAllocator() {
   for (auto& c : chunks_) ::free(c.base);
+}
+
+int SimAllocator::arenaKey(int alloc_socket) const {
+  switch (place_) {
+    case PlacePolicy::kFirstTouch:
+      return alloc_socket;
+    case PlacePolicy::kInterleave:
+      return kInterleavedHome;
+    case PlacePolicy::kAllocatorSocket:
+      return 0;
+    case PlacePolicy::kAdversarialRemote:
+      return alloc_socket >= 0 && alloc_socket < sockets_
+                 ? farthest_[static_cast<size_t>(alloc_socket)]
+                 : farthest_[0];
+  }
+  return alloc_socket;
 }
 
 void* SimAllocator::alloc(size_t bytes, int home_socket) {
   if (bytes == 0) bytes = 1;
   size_t padded = pad_ ? (bytes + kLineBytes - 1) / kLineBytes * kLineBytes
                        : (bytes + 15) / 16 * 16;
-  auto& fl = free_lists_[{home_socket, padded}];
+  const int key = arenaKey(home_socket);
+  auto& fl = free_lists_[{key, padded}];
   void* p;
   if (!fl.empty()) {
     p = fl.back();
     fl.pop_back();
   } else {
-    p = carve(padded, home_socket);
+    p = carve(padded, key);
   }
-  live_[p] = padded;
+  live_[p] = Live{padded, key};
   live_bytes_ += padded;
   return p;
 }
 
-void* SimAllocator::carve(size_t bytes, int home_socket) {
-  auto& [cursor, remaining] = arena_[home_socket];
+void* SimAllocator::carve(size_t bytes, int key) {
+  auto& [cursor, remaining] = arena_[key];
   if (remaining < bytes) {
     size_t chunk_size = bytes > kChunkBytes ? bytes : kChunkBytes;
     chunk_size = (chunk_size + kChunkAlign - 1) / kChunkAlign * kChunkAlign;
     char* base = static_cast<char*>(std::aligned_alloc(kChunkAlign, chunk_size));
     if (base == nullptr) throw std::bad_alloc();
     const uint32_t ordinal = static_cast<uint32_t>(chunks_.size());
-    chunks_.push_back(Chunk{base, chunk_size, static_cast<int8_t>(home_socket)});
+    chunks_.push_back(Chunk{base, chunk_size, static_cast<int8_t>(key)});
     uint64_t first = lineOf(base);
     uint64_t last = lineOf(base + chunk_size - 1);
-    homes_[first] = {last, static_cast<int8_t>(home_socket), ordinal};
+    homes_[first] = {last, static_cast<int8_t>(key), ordinal};
     cursor = base;
     remaining = chunk_size;
   }
@@ -51,19 +114,25 @@ void SimAllocator::free(void* p) {
   if (p == nullptr) return;
   auto it = live_.find(p);
   if (it == live_.end()) return;  // not ours (or double free): ignore
-  size_t padded = it->second;
-  live_bytes_ -= padded;
+  const Live l = it->second;
+  live_bytes_ -= l.padded;
   live_.erase(it);
-  int home = homeOf(lineOf(p));
-  free_lists_[{home, padded}].push_back(p);
+  free_lists_[{l.key, l.padded}].push_back(p);
 }
 
 int8_t SimAllocator::homeOf(uint64_t line) const {
   auto it = homes_.upper_bound(line);
   if (it == homes_.begin()) return 0;
   --it;
-  if (line >= it->first && line <= it->second.end_line) return it->second.home;
-  return 0;
+  if (line < it->first || line > it->second.end_line) return 0;
+  if (it->second.home == kInterleavedHome) {
+    // Per-line round robin by offset within the chunk — with line padding
+    // every consecutive object lands on the next socket, the classic
+    // page-free interleave approximation.
+    return static_cast<int8_t>((line - it->first) %
+                               static_cast<uint64_t>(sockets_));
+  }
+  return it->second.home;
 }
 
 uint64_t SimAllocator::stableLineId(uint64_t line) const {

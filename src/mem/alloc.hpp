@@ -4,24 +4,49 @@
 // malloc placement on TSX hardware transactional memory"): every allocation
 // is cache-line aligned and, by default, padded to a whole number of lines so
 // that two objects never share a line (no false transactional conflicts).
-// Each allocation is homed on a socket (first-touch approximation: the
-// allocating thread's socket), which the latency model uses to price cold
-// DRAM misses. Padding can be disabled per-allocator for the false-sharing
-// ablation.
+// Each allocation is homed on a socket, which the latency model uses to
+// price cold DRAM misses; *which* socket is decided by a pluggable placement
+// policy (Dice et al.'s central knob). Padding can be disabled per-allocator
+// for the false-sharing ablation.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "mem/line.hpp"
 
+namespace natle::sim {
+struct MachineConfig;
+}
+
 namespace natle::mem {
+
+// Where allocated lines are homed, relative to the allocating thread's
+// socket. First-touch is the default (and matches Linux's default NUMA
+// policy); the others reproduce the placement regimes Dice et al. compare.
+enum class PlacePolicy : uint8_t {
+  kFirstTouch,         // home = the allocating thread's socket
+  kInterleave,         // per-line round robin across all sockets
+  kAllocatorSocket,    // everything homed on socket 0 (one shared heap arena)
+  kAdversarialRemote,  // home = the socket farthest from the allocator
+};
+
+const char* toString(PlacePolicy p);
+// Parse the CLI/JSON spelling ("first-touch", "interleave",
+// "allocator-socket", "adversarial-remote"); returns false on anything else.
+bool parsePlacePolicy(const std::string& s, PlacePolicy* out);
 
 class SimAllocator {
  public:
-  explicit SimAllocator(bool pad_to_line = true) : pad_(pad_to_line) {}
+  // `cfg` supplies socket count and interconnect distances for the
+  // non-default policies; nullptr (unit tests, first-touch use) assumes the
+  // default two-socket machine.
+  explicit SimAllocator(bool pad_to_line = true,
+                        PlacePolicy place = PlacePolicy::kFirstTouch,
+                        const sim::MachineConfig* cfg = nullptr);
   ~SimAllocator();
 
   SimAllocator(const SimAllocator&) = delete;
@@ -43,6 +68,7 @@ class SimAllocator {
 
   size_t liveBytes() const { return live_bytes_; }
   bool padded() const { return pad_; }
+  PlacePolicy placement() const { return place_; }
 
  private:
   struct Chunk {
@@ -59,22 +85,37 @@ class SimAllocator {
   // across processes and across concurrent allocator use by runner threads.
   static constexpr size_t kChunkAlign = 64 * 1024;
 
-  void* carve(size_t bytes, int home_socket);
+  // Sentinel arena key / span home for interleaved placement: lines in such
+  // a span are homed per-line by offset, not per-chunk.
+  static constexpr int kInterleavedHome = -2;
+
+  // Which bump arena (and free-list family) serves an allocation by a thread
+  // on `alloc_socket` — the placement policy's whole effect.
+  int arenaKey(int alloc_socket) const;
+
+  void* carve(size_t bytes, int key);
 
   bool pad_;
-  // Per-(home, size-class) free lists; size class = padded byte size.
+  PlacePolicy place_;
+  int sockets_;
+  std::vector<int8_t> farthest_;  // per allocating socket (adversarial-remote)
+  // Per-(arena key, size-class) free lists; size class = padded byte size.
   std::map<std::pair<int, size_t>, std::vector<void*>> free_lists_;
-  // Bump arenas per home socket.
+  // Bump arenas per arena key.
   std::vector<Chunk> chunks_;
-  std::map<int, std::pair<char*, size_t>> arena_;  // home -> (cursor, remaining)
+  std::map<int, std::pair<char*, size_t>> arena_;  // key -> (cursor, remaining)
   // Interval map keyed by first line of a chunk.
   struct ChunkSpan {
     uint64_t end_line;  // inclusive
-    int8_t home;
-    uint32_t ordinal;  // index into chunks_ (allocation order)
+    int8_t home;        // kInterleavedHome: homed per line, round robin
+    uint32_t ordinal;   // index into chunks_ (allocation order)
   };
   std::map<uint64_t, ChunkSpan> homes_;  // start line -> span
-  std::map<void*, size_t> live_;                           // ptr -> padded size
+  struct Live {
+    size_t padded;
+    int key;  // arena key, so free() refills the right list
+  };
+  std::map<void*, Live> live_;
   size_t live_bytes_ = 0;
 };
 

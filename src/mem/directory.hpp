@@ -3,9 +3,10 @@
 // which the per-core L1 filters rely on (they cache LineState pointers).
 #pragma once
 
+#include <algorithm>
 #include <unordered_map>
+#include <vector>
 
-#include "fault/fault.hpp"
 #include "mem/line.hpp"
 
 namespace natle::mem {
@@ -13,16 +14,6 @@ namespace natle::mem {
 class Directory {
  public:
   Directory() { map_.reserve(1 << 16); }
-
-  // Attach (or detach, with nullptr) a fault schedule. While attached, the
-  // interconnect charges an extra per-transfer penalty during NUMA latency
-  // spike windows. Not owned.
-  void setFaults(fault::FaultSchedule* f) { faults_ = f; }
-
-  // Extra cycles a cross-socket transfer issued at `now` must pay.
-  uint64_t interconnectPenalty(uint64_t now) {
-    return faults_ != nullptr ? faults_->linkPenalty(now) : 0;
-  }
 
   // Get-or-create the state for a line. New lines start uncached in DRAM at
   // the given home socket.
@@ -39,10 +30,16 @@ class Directory {
 
   size_t size() const { return map_.size(); }
 
-  // Debug iteration (auditing only).
+  // Debug iteration (auditing, watchdog footprint dumps), in ascending line
+  // order — unordered_map's hash order varies across libstdc++ versions, and
+  // diagnostics built from this walk must be deterministic everywhere.
   template <typename F>
   void forEach(F&& f) {
-    for (auto& [line, state] : map_) f(line, state);
+    std::vector<uint64_t> lines;
+    lines.reserve(map_.size());
+    for (const auto& [line, state] : map_) lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    for (uint64_t line : lines) f(line, map_.find(line)->second);
   }
 
   // Drop all coherence state (used between trials; transaction footprints
@@ -51,7 +48,6 @@ class Directory {
 
  private:
   std::unordered_map<uint64_t, LineState> map_;
-  fault::FaultSchedule* faults_ = nullptr;
 };
 
 }  // namespace natle::mem

@@ -1,0 +1,98 @@
+// The socket-to-socket transport: hop-count latency scaling and per-link
+// bandwidth occupancy for the simulated interconnect.
+//
+// Each unordered socket pair owns its own link with an independent occupancy
+// queue; a transfer between sockets d hops apart pays a latency multiplier of
+// 1 + (d - 1) * hop_factor and occupies its link for d times the configured
+// per-hop occupancy. On the default fully connected topology every pair is
+// one hop apart, both factors collapse to 1, and with two sockets there is
+// exactly one link — making transferDelay() bit-identical to the original
+// single-shared-link model.
+//
+// Fault injection's `link` channel plugs in here: a NUMA latency spike both
+// delays the transfer and extends the link reservation (queueing
+// amplification), and can target one socket pair or all links incident to a
+// socket (see FaultSchedule::linkPenalty).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/config.hpp"
+
+namespace natle::mem {
+
+class Interconnect {
+ public:
+  explicit Interconnect(const sim::MachineConfig& cfg)
+      : sockets_(cfg.sockets),
+        occupancy_(cfg.link_occupancy),
+        hop_factor_(cfg.hop_factor),
+        hops_(static_cast<size_t>(cfg.sockets) * cfg.sockets, 0),
+        link_free_(cfg.sockets > 1
+                       ? static_cast<size_t>(cfg.sockets) * (cfg.sockets - 1) / 2
+                       : 0,
+                   0) {
+    for (int a = 0; a < sockets_; ++a) {
+      for (int b = 0; b < sockets_; ++b) {
+        hops_[static_cast<size_t>(a) * sockets_ + b] =
+            static_cast<uint8_t>(cfg.hops(a, b));
+      }
+    }
+  }
+
+  // Attach (or detach, with nullptr) a fault schedule. While attached,
+  // transfers pay an extra penalty during NUMA latency spike windows. Not
+  // owned.
+  void setFaults(fault::FaultSchedule* f) { faults_ = f; }
+
+  int sockets() const { return sockets_; }
+  int hops(int a, int b) const {
+    return hops_[static_cast<size_t>(a) * sockets_ + b];
+  }
+
+  // Hop-scaled transfer latency. Exactly `base` at one hop — no floating
+  // point touches the default topology's costs.
+  uint32_t scaled(uint32_t base, int a, int b) const {
+    const int h = hops(a, b);
+    if (h <= 1) return base;
+    return static_cast<uint32_t>(static_cast<double>(base) *
+                                 (1.0 + (h - 1) * hop_factor_));
+  }
+
+  // Reserve the (a, b) link for one transfer issued at `now`; returns the
+  // queueing delay the transfer suffers (plus any injected spike). A d-hop
+  // transfer holds the link d times longer — bandwidth across distant
+  // sockets is the scarcer resource.
+  uint64_t transferDelay(int a, int b, uint64_t now) {
+    const uint64_t spike =
+        faults_ != nullptr ? faults_->linkPenalty(a, b, now) : 0;
+    uint64_t& free_at = link_free_[pairIndex(a, b)];
+    const uint64_t start = now > free_at ? now : free_at;
+    free_at = start +
+              static_cast<uint64_t>(occupancy_) *
+                  static_cast<uint64_t>(hops(a, b)) +
+              spike;
+    return start - now + spike;
+  }
+
+ private:
+  // Unordered-pair index: {a, b} with a != b maps into a triangular array.
+  size_t pairIndex(int a, int b) const {
+    assert(a != b);
+    const int lo = a < b ? a : b;
+    const int hi = a < b ? b : a;
+    return static_cast<size_t>(hi) * (hi - 1) / 2 + lo;
+  }
+
+  int sockets_;
+  uint32_t occupancy_;
+  double hop_factor_;
+  std::vector<uint8_t> hops_;       // row-major [a * sockets + b]
+  std::vector<uint64_t> link_free_; // per unordered pair: earliest free cycle
+  fault::FaultSchedule* faults_ = nullptr;
+};
+
+}  // namespace natle::mem

@@ -1,0 +1,95 @@
+#include "mem/memsystem.hpp"
+
+namespace natle::mem {
+
+MemorySystem::MemorySystem(const sim::MachineConfig& cfg, bool pad_alloc,
+                           PlacePolicy placement)
+    : cfg_(cfg), alloc_(pad_alloc, placement, &cfg_), net_(cfg_) {
+  l1s_.reserve(static_cast<size_t>(cfg_.coresTotal()));
+  for (int i = 0; i < cfg_.coresTotal(); ++i) {
+    l1s_.emplace_back(cfg_.l1_sets, cfg_.l1_ways);
+  }
+}
+
+Access MemorySystem::fillRead(uint64_t line, LineState& s, int socket,
+                              uint64_t now) {
+  (void)line;
+  Access a;
+  if (s.owner_socket == socket || s.hasSharer(socket)) {
+    a.latency = cfg_.local_hit;
+    a.cls = AccessClass::kLocalHit;
+  } else if (s.owner_socket >= 0) {
+    // Modified in another socket: cross-socket cache-to-cache transfer,
+    // which downgrades the owner to shared.
+    a.latency = static_cast<uint32_t>(
+        net_.scaled(cfg_.remote_transfer, socket, s.owner_socket) +
+        net_.transferDelay(socket, s.owner_socket, now));
+    a.cls = AccessClass::kRemoteTransfer;
+    s.owner_socket = -1;
+  } else {
+    // Clean (or uncached): served from the home node's memory; a clean copy
+    // in another socket does not make this more expensive.
+    if (s.home_socket == socket) {
+      a.latency = cfg_.local_dram;
+    } else {
+      a.latency = static_cast<uint32_t>(
+          net_.scaled(cfg_.remote_dram, socket, s.home_socket) +
+          net_.transferDelay(socket, s.home_socket, now));
+    }
+    a.cls = AccessClass::kDramMiss;
+  }
+  s.addSharer(socket);
+  return a;
+}
+
+Access MemorySystem::fillWrite(uint64_t line, LineState& s, int socket,
+                               int core, uint64_t now) {
+  Access a;
+  const bool l1hit = l1s_[static_cast<size_t>(core)].probe(line) != nullptr;
+  const uint16_t remote_sharers =
+      static_cast<uint16_t>(s.sharer_mask & ~(1u << socket));
+  if (s.owner_socket == socket) {
+    a.latency = l1hit ? cfg_.l1_hit : cfg_.local_hit;
+    a.cls = l1hit ? AccessClass::kL1Hit : AccessClass::kLocalHit;
+  } else if (s.owner_socket >= 0) {
+    // Modified in another socket: full cross-socket transfer for ownership.
+    a.latency = static_cast<uint32_t>(
+        net_.scaled(cfg_.remote_transfer, socket, s.owner_socket) +
+        net_.transferDelay(socket, s.owner_socket, now));
+    a.cls = AccessClass::kRemoteTransfer;
+  } else if (remote_sharers != 0) {
+    // Clean copies in other sockets must be invalidated (snoop round),
+    // cheaper than pulling a modified line. Every sharer's link is occupied;
+    // the round completes when the farthest acknowledgement arrives, so the
+    // latency is priced to the most distant sharer.
+    uint64_t queue = 0;
+    int far = -1;
+    for (int t = 0; t < net_.sockets(); ++t) {
+      if (t == socket || ((remote_sharers >> t) & 1u) == 0) continue;
+      const uint64_t d = net_.transferDelay(socket, t, now);
+      if (d > queue) queue = d;
+      if (far < 0 || net_.hops(socket, t) > net_.hops(socket, far)) far = t;
+    }
+    a.latency = static_cast<uint32_t>(
+        net_.scaled(cfg_.remote_inval, socket, far) + queue);
+    a.cls = AccessClass::kRemoteTransfer;
+  } else if (s.hasSharer(socket)) {
+    a.latency = (l1hit ? cfg_.l1_hit : cfg_.local_hit) + cfg_.store_upgrade;
+    a.cls = l1hit ? AccessClass::kL1Hit : AccessClass::kLocalHit;
+  } else {
+    if (s.home_socket == socket) {
+      a.latency = cfg_.local_dram + cfg_.store_upgrade;
+    } else {
+      a.latency = static_cast<uint32_t>(
+          net_.scaled(cfg_.remote_dram, socket, s.home_socket) +
+          net_.transferDelay(socket, s.home_socket, now) + cfg_.store_upgrade);
+    }
+    a.cls = AccessClass::kDramMiss;
+  }
+  s.version++;
+  s.owner_socket = static_cast<int8_t>(socket);
+  s.sharer_mask = static_cast<uint16_t>(1u << socket);
+  return a;
+}
+
+}  // namespace natle::mem

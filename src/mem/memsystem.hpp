@@ -1,0 +1,106 @@
+// The memory hierarchy, as one layer: MemorySystem owns the allocator (data
+// placement), the line directory (coherence state), the per-core L1 filters
+// (locality + HTM capacity) and the Interconnect (socket distances and link
+// bandwidth), and is the single place that prices memory accesses and decides
+// coherence transitions.
+//
+// The HTM layer above (htm::Env / ThreadCtx) keeps only transaction
+// bookkeeping: it resolves transactional conflicts, then asks this layer to
+// perform the fill and charges the returned latency. The layer below is the
+// declarative topology in sim::MachineConfig.
+//
+// Determinism contract: fillRead/fillWrite perform no yields and consume no
+// randomness; on the default fully connected topology every cost they return
+// is bit-identical to the pre-refactor inline model in htm/env.cpp.
+#pragma once
+
+#include <vector>
+
+#include "mem/alloc.hpp"
+#include "mem/directory.hpp"
+#include "mem/interconnect.hpp"
+#include "mem/l1.hpp"
+#include "sim/config.hpp"
+
+namespace natle::mem {
+
+// How an access was served — the statistics bucket it belongs to.
+enum class AccessClass : uint8_t {
+  kL1Hit,           // resident in the core's L1 filter
+  kLocalHit,        // same-socket L3 / peer cache
+  kRemoteTransfer,  // cross-socket transfer or invalidation round
+  kDramMiss,        // cold miss served from a home node's memory
+};
+
+// The outcome of a fill: the cycle cost to charge and the bucket to count.
+struct Access {
+  uint32_t latency = 0;
+  AccessClass cls = AccessClass::kL1Hit;
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(const sim::MachineConfig& cfg, bool pad_alloc,
+               PlacePolicy placement);
+
+  SimAllocator& allocator() { return alloc_; }
+  Directory& directory() { return dir_; }
+  L1Cache& l1(int core) { return l1s_[static_cast<size_t>(core)]; }
+  Interconnect& interconnect() { return net_; }
+
+  // Route fault injection's link channel to the interconnect (nullptr
+  // detaches). Not owned.
+  void setFaults(fault::FaultSchedule* f) { net_.setFaults(f); }
+
+  // Directory state for a line, homed by the allocator's placement on first
+  // touch.
+  LineState& lookup(uint64_t line) {
+    return dir_.lookup(line, alloc_.homeOf(line));
+  }
+
+  // Cost of an access served by the L1 filter (the read fast path).
+  uint32_t l1HitCost() const { return cfg_.l1_hit; }
+
+  // A read miss reaching the directory: prices the fill (local hit, remote
+  // cache-to-cache transfer with link reservation, or DRAM), downgrades a
+  // remote exclusive owner to shared and records this socket as a sharer.
+  // Any transactional conflict must be resolved by the caller *before* this
+  // (aborting a writer rolls the line's coherence state back).
+  Access fillRead(uint64_t line, LineState& s, int socket, uint64_t now);
+
+  // A write's ownership acquisition: prices it (owned locally, remote
+  // transfer, invalidation round over remote sharers, store upgrade, or
+  // DRAM), then applies the coherence transition — version bump, this socket
+  // becomes exclusive owner and sole sharer. Conflicting transactions must
+  // already be aborted. `core` is consulted for the L1-resident fast price.
+  Access fillWrite(uint64_t line, LineState& s, int socket, int core,
+                   uint64_t now);
+
+  // Install a just-filled line in the core's L1 filter. Called *after* the
+  // fill's latency has been charged, because `masked_ways` (fault
+  // injection's way squeeze) is sampled from the clock at insertion time.
+  // Returns any capacity eviction the HTM layer must turn into an abort.
+  L1Cache::InsertResult install(uint64_t line, LineState& s, int core,
+                                TxBase* tx, uint32_t masked_ways) {
+    return l1s_[static_cast<size_t>(core)].insert(line, &s, tx, masked_ways);
+  }
+
+  // Coherence rollback for one line of an aborted transaction's write set:
+  // the speculative copy is discarded, but the pre-transaction value is
+  // still present in the victim socket's LLC (transactional stores never
+  // reached it), so the line stays cached there.
+  void rollbackWrite(LineState& s, int victim_socket) {
+    s.version++;
+    s.owner_socket = -1;
+    s.sharer_mask = static_cast<uint16_t>(1u << victim_socket);
+  }
+
+ private:
+  const sim::MachineConfig cfg_;
+  SimAllocator alloc_;
+  Directory dir_;
+  Interconnect net_;
+  std::vector<L1Cache> l1s_;
+};
+
+}  // namespace natle::mem

@@ -17,6 +17,19 @@ void Attribution::growMatrix(int socket) {
   }
 }
 
+void Attribution::setTopology(int sockets, std::vector<uint8_t> hops) {
+  if (sockets < 1 || hops.size() != static_cast<size_t>(sockets) * sockets) {
+    return;
+  }
+  uint8_t max_hop = 0;
+  for (uint8_t h : hops) max_hop = std::max(max_hop, h);
+  // All pairs adjacent: the cross/intra split is already the whole story.
+  if (max_hop <= 1) return;
+  topo_sockets_ = sockets;
+  hops_ = std::move(hops);
+  aborts_by_hops_.assign(static_cast<size_t>(max_hop) + 1, 0);
+}
+
 void Attribution::countAbort(int killer_socket, int victim_socket) {
   if (killer_socket < 0 || victim_socket < 0) {
     self_or_unknown_aborts_++;
@@ -28,6 +41,15 @@ void Attribution::countAbort(int killer_socket, int victim_socket) {
     intra_socket_aborts_++;
   } else {
     cross_socket_aborts_++;
+  }
+  if (topo_sockets_ > 0 && killer_socket < topo_sockets_ &&
+      victim_socket < topo_sockets_) {
+    const uint8_t h =
+        killer_socket == victim_socket
+            ? 0
+            : hops_[static_cast<size_t>(killer_socket) * topo_sockets_ +
+                    victim_socket];
+    if (h < aborts_by_hops_.size()) aborts_by_hops_[h]++;
   }
 }
 
@@ -85,6 +107,19 @@ Attribution& Attribution::operator+=(const Attribution& o) {
   cross_socket_aborts_ += o.cross_socket_aborts_;
   intra_socket_aborts_ += o.intra_socket_aborts_;
   self_or_unknown_aborts_ += o.self_or_unknown_aborts_;
+  if (o.topo_sockets_ > 0) {
+    if (topo_sockets_ == 0) {
+      topo_sockets_ = o.topo_sockets_;
+      hops_ = o.hops_;
+      aborts_by_hops_.resize(o.aborts_by_hops_.size(), 0);
+    }
+    if (aborts_by_hops_.size() < o.aborts_by_hops_.size()) {
+      aborts_by_hops_.resize(o.aborts_by_hops_.size(), 0);
+    }
+    for (size_t h = 0; h < o.aborts_by_hops_.size(); ++h) {
+      aborts_by_hops_[h] += o.aborts_by_hops_[h];
+    }
+  }
   for (const auto& [line, n] : o.line_aborts_) line_aborts_[line] += n;
   lock_fallbacks_ += o.lock_fallbacks_;
   fallback_episodes_ += o.fallback_episodes_;
@@ -129,6 +164,12 @@ std::string Attribution::toJson(size_t top_k) const {
   w.key("cross_socket_aborts").value(cross_socket_aborts_);
   w.key("intra_socket_aborts").value(intra_socket_aborts_);
   w.key("self_or_unknown_aborts").value(self_or_unknown_aborts_);
+  if (topo_sockets_ > 0) {
+    w.key("aborts_by_hops");  // index = hop distance, 0 = same socket
+    w.beginArray();
+    for (uint64_t n : aborts_by_hops_) w.value(n);
+    w.endArray();
+  }
   w.key("hot_lines");
   w.beginArray();
   for (const auto& [line, n] : hotLines(top_k)) {

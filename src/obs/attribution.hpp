@@ -51,6 +51,17 @@ class Attribution {
   uint64_t intraSocketAborts() const { return intra_socket_aborts_; }
   uint64_t selfOrUnknownAborts() const { return self_or_unknown_aborts_; }
 
+  // --- hop-distance histogram ----------------------------------------------
+  // Install the machine's socket distance matrix (row-major hops, sockets^2
+  // entries) so attributed aborts are additionally bucketed by the hop
+  // distance between killer and victim socket. A trivial topology (every
+  // pair <= 1 hop) is a no-op: the binary cross/intra split already carries
+  // the full story there and the JSON layout stays unchanged.
+  void setTopology(int sockets, std::vector<uint8_t> hops);
+  // abortsByHops()[h] counts killer-known aborts at hop distance h
+  // (0 = same socket). Empty unless a non-trivial topology is installed.
+  const std::vector<uint64_t>& abortsByHops() const { return aborts_by_hops_; }
+
   // --- per-line heatmap ----------------------------------------------------
   // Aborts attributed to each (stable) line id, and the top-K hottest lines
   // (count desc, line id asc on ties).
@@ -77,6 +88,10 @@ class Attribution {
   uint64_t cross_socket_aborts_ = 0;
   uint64_t intra_socket_aborts_ = 0;
   uint64_t self_or_unknown_aborts_ = 0;
+
+  int topo_sockets_ = 0;        // 0 = no (or trivial) topology installed
+  std::vector<uint8_t> hops_;   // row-major, topo_sockets_^2 when installed
+  std::vector<uint64_t> aborts_by_hops_;
 
   std::map<uint64_t, uint64_t> line_aborts_;
 

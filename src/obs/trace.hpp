@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "htm/abort.hpp"
@@ -65,6 +66,12 @@ class Tracer {
   void record(TraceEvent e);
 
   const Attribution& attribution() const { return attribution_; }
+
+  // Forward the machine's socket distance matrix so attribution can bucket
+  // aborts by hop distance (no-op on trivial all-adjacent topologies).
+  void setTopology(int sockets, std::vector<uint8_t> hops) {
+    attribution_.setTopology(sockets, std::move(hops));
+  }
 
   // Retained events merged across threads back into emission (seq) order,
   // one JSON object per line. Empty when keep_events is false.

@@ -4,13 +4,19 @@
 // Intel Xeon E5-2699 v3 sockets, 18 cores per socket, 2 hyperthreads per
 // core (72 hardware threads) at 2.3 GHz. SmallMachine() models the paper's
 // comparison box, a single-socket 4-core hyperthreaded Core i7-4770.
+// FourSocketRing() and EightSocketMesh() model the larger glued systems the
+// paper speculates about (Section 6): sockets connected by an interconnect
+// where some pairs are more than one hop apart.
 //
 // Latencies are in CPU cycles and are deliberately round: the reproduction
 // targets the *shape* of the paper's results (who wins, where the cliffs
 // are), not absolute nanoseconds.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace natle::sim {
 
@@ -21,15 +27,27 @@ struct MachineConfig {
   int threads_per_core = 2;
   double ghz = 2.3;  // cycles per simulated nanosecond
 
+  // Interconnect distance matrix: hop counts between socket pairs, flattened
+  // row-major (entry [a * sockets + b]). Empty means fully connected at one
+  // hop — the glueless 2-socket default. Cross-socket latencies and link
+  // occupancy scale with hop count (see hopScale); presets below build ring
+  // and mesh matrices for 4- and 8-socket machines.
+  std::vector<uint8_t> distance;
+  // Latency multiplier per hop beyond the first: a d-hop transfer costs
+  // base * (1 + (d - 1) * hop_factor) cycles. Irrelevant when every pair is
+  // one hop apart.
+  double hop_factor = 0.5;
+
   // Memory-system latencies (cycles).
   uint32_t l1_hit = 4;            // line present in the core's L1 filter
   uint32_t local_hit = 40;        // served by same-socket L3 / peer cache
   uint32_t local_dram = 220;      // cold miss, line homed on this socket
   uint32_t remote_transfer = 500; // cross-socket transfer of a modified line
   uint32_t remote_inval = 280;    // invalidating clean sharers on the other socket
-  // Cross-socket interconnect bandwidth: each remote transfer occupies the
-  // shared link for this many cycles; concurrent transfers queue. 64 bytes
-  // at ~19 GB/s and 2.3 GHz is ~8 cycles; real links run below peak.
+  // Cross-socket interconnect bandwidth: each remote transfer occupies its
+  // socket-pair link for this many cycles (per hop); concurrent transfers on
+  // the same pair queue. 64 bytes at ~19 GB/s and 2.3 GHz is ~8 cycles; real
+  // links run below peak.
   uint32_t link_occupancy = 24;
   uint32_t remote_dram = 340;     // cold miss, line homed on the other socket
   uint32_t store_upgrade = 12;    // extra cost to gain write ownership locally
@@ -68,6 +86,39 @@ struct MachineConfig {
     return static_cast<uint64_t>(ms * 1e6 * ghz);
   }
   double cyclesToSec(uint64_t cycles) const { return static_cast<double>(cycles) / (ghz * 1e9); }
+
+  // Interconnect hops between two sockets: 0 for a == b, 1 for every pair on
+  // the default fully connected topology, the matrix entry otherwise.
+  int hops(int a, int b) const {
+    if (a == b) return 0;
+    if (distance.empty()) return 1;
+    return distance[static_cast<size_t>(a) * static_cast<size_t>(sockets) + static_cast<size_t>(b)];
+  }
+
+  // Latency multiplier for an (a, b) transfer. Exactly 1.0 at one hop, so
+  // every single-hop topology prices transfers identically to the original
+  // binary local/remote model.
+  double hopScale(int a, int b) const {
+    const int h = hops(a, b);
+    return h <= 1 ? 1.0 : 1.0 + (h - 1) * hop_factor;
+  }
+
+  // Largest hop count between any socket pair (1 on the default topology).
+  int maxHops() const {
+    int m = sockets > 1 ? 1 : 0;
+    for (int a = 0; a < sockets; ++a) {
+      for (int b = 0; b < sockets; ++b) {
+        if (hops(a, b) > m) m = hops(a, b);
+      }
+    }
+    return m;
+  }
+
+  // Configuration sanity check; returns an empty string when valid, else a
+  // human-readable description of the first problem found. Machine's
+  // constructor enforces this (mirroring BenchOptions' strict flags): a
+  // malformed config fails loudly instead of silently simulating nonsense.
+  std::string validate() const;
 };
 
 // The paper's large two-socket machine (72 threads).
@@ -81,6 +132,112 @@ inline MachineConfig SmallMachine() {
   c.threads_per_core = 2;
   c.ghz = 3.4;
   return c;
+}
+
+// Ring interconnect distances for `sockets` sockets: hops(a, b) is the
+// shorter way around the ring.
+inline std::vector<uint8_t> RingDistance(int sockets) {
+  std::vector<uint8_t> d(static_cast<size_t>(sockets) * sockets, 0);
+  for (int a = 0; a < sockets; ++a) {
+    for (int b = 0; b < sockets; ++b) {
+      const int fwd = (b - a + sockets) % sockets;
+      const int back = sockets - fwd;
+      d[static_cast<size_t>(a) * sockets + b] =
+          static_cast<uint8_t>(a == b ? 0 : (fwd < back ? fwd : back));
+    }
+  }
+  return d;
+}
+
+// Grid (mesh) interconnect distances: sockets laid out rows x cols, hop count
+// is Manhattan distance.
+inline std::vector<uint8_t> MeshDistance(int rows, int cols) {
+  const int n = rows * cols;
+  std::vector<uint8_t> d(static_cast<size_t>(n) * n, 0);
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      const int dr = std::abs(a / cols - b / cols);
+      const int dc = std::abs(a % cols - b % cols);
+      d[static_cast<size_t>(a) * n + b] = static_cast<uint8_t>(dr + dc);
+    }
+  }
+  return d;
+}
+
+// A speculative 4-socket machine built from the paper's large-machine parts:
+// sockets on a ring, so opposite sockets are two hops apart (144 threads).
+inline MachineConfig FourSocketRing() {
+  MachineConfig c;
+  c.sockets = 4;
+  c.distance = RingDistance(4);
+  return c;
+}
+
+// A speculative 8-socket machine: 2x4 mesh, up to 4 hops (288 threads).
+inline MachineConfig EightSocketMesh() {
+  MachineConfig c;
+  c.sockets = 8;
+  c.distance = MeshDistance(2, 4);
+  return c;
+}
+
+inline std::string MachineConfig::validate() const {
+  auto num = [](auto v) { return std::to_string(v); };
+  if (sockets < 1) return "sockets must be >= 1 (got " + num(sockets) + ")";
+  if (sockets > 16) {
+    // sharer_mask is 16 bits wide; LineState would silently drop sharers.
+    return "sockets must be <= 16 (got " + num(sockets) + ")";
+  }
+  if (cores_per_socket < 1) {
+    return "cores_per_socket must be >= 1 (got " + num(cores_per_socket) + ")";
+  }
+  if (threads_per_core < 1) {
+    return "threads_per_core must be >= 1 (got " + num(threads_per_core) + ")";
+  }
+  if (!(ghz > 0) || !std::isfinite(ghz)) {
+    return "ghz must be a finite number > 0 (got " + num(ghz) + ")";
+  }
+  if (l1_sets == 0 || (l1_sets & (l1_sets - 1)) != 0) {
+    // The L1 set index is `line & (l1_sets - 1)`; a non-power-of-two count
+    // would alias most of the cache away instead of erroring.
+    return "l1_sets must be a power of two (got " + num(l1_sets) + ")";
+  }
+  if (l1_ways < 1) return "l1_ways must be >= 1 (got " + num(l1_ways) + ")";
+  if (!(ht_penalty > 0) || !std::isfinite(ht_penalty)) {
+    return "ht_penalty must be a finite number > 0 (got " + num(ht_penalty) + ")";
+  }
+  if (!(hop_factor >= 0) || !std::isfinite(hop_factor)) {
+    return "hop_factor must be a finite number >= 0 (got " + num(hop_factor) + ")";
+  }
+  if (!distance.empty()) {
+    const size_t want = static_cast<size_t>(sockets) * static_cast<size_t>(sockets);
+    if (distance.size() != want) {
+      return "distance matrix must have sockets^2 = " + num(want) +
+             " entries (got " + num(distance.size()) + ")";
+    }
+    for (int a = 0; a < sockets; ++a) {
+      if (distance[static_cast<size_t>(a) * sockets + a] != 0) {
+        return "distance matrix diagonal must be 0 (socket " + num(a) +
+               " has distance " +
+               num(static_cast<int>(distance[static_cast<size_t>(a) * sockets + a])) +
+               " to itself)";
+      }
+      for (int b = 0; b < sockets; ++b) {
+        const uint8_t ab = distance[static_cast<size_t>(a) * sockets + b];
+        const uint8_t ba = distance[static_cast<size_t>(b) * sockets + a];
+        if (ab != ba) {
+          return "distance matrix must be symmetric (d[" + num(a) + "][" +
+                 num(b) + "]=" + num(static_cast<int>(ab)) + " but d[" +
+                 num(b) + "][" + num(a) + "]=" + num(static_cast<int>(ba)) + ")";
+        }
+        if (a != b && ab == 0) {
+          return "distance between distinct sockets " + num(a) + " and " +
+                 num(b) + " must be >= 1";
+        }
+      }
+    }
+  }
+  return "";
 }
 
 }  // namespace natle::sim

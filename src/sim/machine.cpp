@@ -2,11 +2,24 @@
 
 #include <cassert>
 #include <cstdlib>
+#include <stdexcept>
 
 namespace natle::sim {
 
+namespace {
+
+// Fail loudly on nonsense configs (zero ghz, non-power-of-two L1 sets,
+// asymmetric distance matrices...) instead of silently simulating them.
+const MachineConfig& validated(const MachineConfig& cfg) {
+  const std::string err = cfg.validate();
+  if (!err.empty()) throw std::invalid_argument("MachineConfig: " + err);
+  return cfg;
+}
+
+}  // namespace
+
 Machine::Machine(const MachineConfig& cfg)
-    : cfg_(cfg), occupancy_(cfg.coresTotal(), 0),
+    : cfg_(validated(cfg)), occupancy_(cfg.coresTotal(), 0),
       migration_interval_(cfg.msToCycles(1.0)) {}
 
 Machine::~Machine() = default;

@@ -26,6 +26,15 @@ void appendJson(JsonWriter& w, const sim::MachineConfig& m) {
   w.key("l1_sets").value(static_cast<uint64_t>(m.l1_sets));
   w.key("l1_ways").value(static_cast<uint64_t>(m.l1_ways));
   w.key("seed").value(m.seed);
+  // Topology keys appear only for multi-hop machines so default (glueless)
+  // configs keep the exact byte layout of earlier result files.
+  if (!m.distance.empty()) {
+    w.key("distance");  // row-major socket-pair hops
+    w.beginArray();
+    for (uint8_t h : m.distance) w.value(static_cast<uint64_t>(h));
+    w.endArray();
+    w.key("hop_factor").value(m.hop_factor);
+  }
   w.endObject();
 }
 
@@ -74,6 +83,9 @@ void appendJson(JsonWriter& w, const SetBenchConfig& c) {
   if (c.watchdog_ms > 0) w.key("watchdog_ms").value(c.watchdog_ms);
   if (c.cycle_limit_ms > 0) w.key("cycle_limit_ms").value(c.cycle_limit_ms);
   if (c.fault.enabled()) w.key("fault").value(c.fault.toSpecString());
+  if (c.placement != mem::PlacePolicy::kFirstTouch) {
+    w.key("placement").value(mem::toString(c.placement));
+  }
   w.endObject();
 }
 

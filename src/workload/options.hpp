@@ -25,6 +25,11 @@ struct BenchOptions {
   // Livelock watchdog budget in simulated milliseconds, applied the same
   // way; 0 leaves the watchdog disarmed.
   double watchdog_ms = 0;
+  // Data-placement policy name applied by SetSweep to every planned point
+  // that keeps the default (see mem::parsePlacePolicy for spellings); empty
+  // = leave each point's policy alone. Validated where mem/alloc is linked
+  // (CLI entry points).
+  std::string placement;
 
   // Validated NATLE_SIM_SCALE parsing: the whole string must be a finite
   // number > 0 (atof's silent 0.0-on-garbage caused misconfigured runs to
@@ -54,6 +59,10 @@ struct BenchOptions {
         o.fault_spec = argv[i] + 8;
       } else if (std::strcmp(argv[i], "--fault") == 0 && i + 1 < argc) {
         o.fault_spec = argv[++i];
+      } else if (std::strncmp(argv[i], "--placement=", 12) == 0) {
+        o.placement = argv[i] + 12;
+      } else if (std::strcmp(argv[i], "--placement") == 0 && i + 1 < argc) {
+        o.placement = argv[++i];
       } else if (std::strncmp(argv[i], "--watchdog-ms=", 14) == 0 ||
                  (std::strcmp(argv[i], "--watchdog-ms") == 0 &&
                   i + 1 < argc)) {
@@ -91,7 +100,7 @@ struct BenchOptions {
   static void printUsage(const char* prog, std::FILE* to) {
     std::fprintf(to,
                  "usage: %s [--full] [--trace] [--fault SPEC] "
-                 "[--watchdog-ms N] [--help]\n"
+                 "[--placement P] [--watchdog-ms N] [--help]\n"
                  "  --full   denser thread axis, longer trials, 3 trials/point\n"
                  "  --trace  record transaction events; abort attribution "
                  "(killer matrix,\n"
@@ -101,6 +110,10 @@ struct BenchOptions {
                  "into every point\n"
                  "                   (e.g. 'storm:rate=2e-4,period_ms=1,"
                  "duration_ms=0.2;seed=7')\n"
+                 "  --placement P    data-placement policy for shared "
+                 "allocations: first-touch\n"
+                 "                   (default), interleave, allocator-socket, "
+                 "adversarial-remote\n"
                  "  --watchdog-ms N  arm the livelock watchdog: fail a point "
                  "that makes no\n"
                  "                   progress for N simulated ms\n"

@@ -76,7 +76,7 @@ SetBenchResult runSetBench(const SetBenchConfig& cfg) {
   for (int trial = 0; trial < cfg.trials; ++trial) {
     sim::MachineConfig mc = cfg.machine;
     mc.seed = cfg.seed + 1000003ULL * static_cast<uint64_t>(trial);
-    htm::Env env(mc);
+    htm::Env env(mc, true, cfg.placement);
     auto set = makeSet(cfg.ds, env);
 
     // Prefill to ~half of the key range in random order, as the paper does
@@ -121,6 +121,16 @@ SetBenchResult runSetBench(const SetBenchConfig& cfg) {
     std::unique_ptr<obs::Tracer> tracer;
     if (cfg.trace) {
       tracer = std::make_unique<obs::Tracer>(cfg.trace_raw);
+      // Attribution buckets aborts by hop distance on multi-hop topologies
+      // (no-op on the default all-adjacent machines, keeping JSON layout).
+      std::vector<uint8_t> hops(static_cast<size_t>(mc.sockets) * mc.sockets);
+      for (int a = 0; a < mc.sockets; ++a) {
+        for (int b = 0; b < mc.sockets; ++b) {
+          hops[static_cast<size_t>(a) * mc.sockets + b] =
+              static_cast<uint8_t>(a == b ? 0 : mc.hops(a, b));
+        }
+      }
+      tracer->setTopology(mc.sockets, std::move(hops));
       env.setTracer(tracer.get());
     }
 

@@ -11,6 +11,7 @@
 
 #include "fault/fault.hpp"
 #include "htm/stats.hpp"
+#include "mem/alloc.hpp"
 #include "obs/attribution.hpp"
 #include "sim/config.hpp"
 #include "sim/topology.hpp"
@@ -58,6 +59,9 @@ struct SetBenchConfig {
   fault::FaultSpec fault;
   double watchdog_ms = 0;
   double cycle_limit_ms = 0;
+  // Data-placement policy for shared allocations (serialized into config
+  // JSON only when non-default, preserving the default byte layout).
+  mem::PlacePolicy placement = mem::PlacePolicy::kFirstTouch;
   // Observability (not serialized into config JSON: tracing is strictly
   // observational and never changes simulation results).
   bool trace = false;      // aggregate events into SetBenchResult.attribution

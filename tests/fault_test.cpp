@@ -260,5 +260,61 @@ TEST(Watchdog, DeadlockedFibersAreDetected) {
   }
 }
 
+TEST(FaultSpec, LinkPairTargetingParsesAndRoundTrips) {
+  fault::FaultSpec s;
+  std::string err;
+  ASSERT_TRUE(fault::FaultSpec::parse(
+      "link:extra=250,period_ms=1,duration_ms=0.3,from=1,to=3;seed=9", &s,
+      &err))
+      << err;
+  EXPECT_EQ(s.link_from, 1);
+  EXPECT_EQ(s.link_to, 3);
+  const std::string text = s.toSpecString();
+  EXPECT_NE(text.find("from=1"), std::string::npos);
+  EXPECT_NE(text.find("to=3"), std::string::npos);
+  fault::FaultSpec s2;
+  ASSERT_TRUE(fault::FaultSpec::parse(text, &s2, &err)) << text << ": " << err;
+  EXPECT_EQ(s2.toSpecString(), text);
+  EXPECT_EQ(s2.link_from, 1);
+  EXPECT_EQ(s2.link_to, 3);
+
+  // Negative socket ids are rejected.
+  EXPECT_FALSE(fault::FaultSpec::parse(
+      "link:extra=250,period_ms=1,duration_ms=0.3,from=-2", &s, &err));
+}
+
+TEST(FaultSchedule, LinkPenaltyHonorsPairTargeting) {
+  const sim::MachineConfig cfg = sim::FourSocketRing();
+  // With zero jitter the first window is [1ms, 2ms); query inside it.
+  const char* base = "link:extra=500,period_ms=1,duration_ms=1,jitter=0";
+  const uint64_t t = cfg.msToCycles(1.5);
+
+  // Both endpoints set: only the {1, 3} link is hit, in either order.
+  fault::FaultSpec s;
+  ASSERT_TRUE(fault::FaultSpec::parse(std::string(base) + ",from=1,to=3;seed=3",
+                                      &s, nullptr));
+  fault::FaultSchedule pair_sched(s, cfg);
+  EXPECT_EQ(pair_sched.linkPenalty(1, 3, t), 500u);
+  EXPECT_EQ(pair_sched.linkPenalty(3, 1, t), 500u);
+  EXPECT_EQ(pair_sched.linkPenalty(0, 1, t), 0u);
+  EXPECT_EQ(pair_sched.linkPenalty(0, 2, t), 0u);
+
+  // Only `from` set: every link incident to socket 2.
+  ASSERT_TRUE(fault::FaultSpec::parse(std::string(base) + ",from=2;seed=3", &s,
+                                      nullptr));
+  fault::FaultSchedule incident_sched(s, cfg);
+  EXPECT_EQ(incident_sched.linkPenalty(2, 0, t), 500u);
+  EXPECT_EQ(incident_sched.linkPenalty(1, 2, t), 500u);
+  EXPECT_EQ(incident_sched.linkPenalty(0, 1, t), 0u);
+
+  // Neither set: all links (and the legacy pair-agnostic query agrees).
+  ASSERT_TRUE(
+      fault::FaultSpec::parse(std::string(base) + ";seed=3", &s, nullptr));
+  fault::FaultSchedule all_sched(s, cfg);
+  EXPECT_EQ(all_sched.linkPenalty(0, 1, t), 500u);
+  EXPECT_EQ(all_sched.linkPenalty(2, 3, t), 500u);
+  EXPECT_EQ(all_sched.linkPenalty(t), 500u);  // legacy pair-agnostic query
+}
+
 }  // namespace
 }  // namespace natle

@@ -2,9 +2,12 @@
 // semantics, allocator padding/homing.
 #include <gtest/gtest.h>
 
+#include "fault/fault.hpp"
 #include "mem/alloc.hpp"
 #include "mem/directory.hpp"
+#include "mem/interconnect.hpp"
 #include "mem/l1.hpp"
+#include "sim/config.hpp"
 
 using namespace natle::mem;
 
@@ -218,4 +221,149 @@ TEST(Alloc, StableLineIdsAreAddressIndependent) {
 
   // Lines the allocator does not own have no stable id.
   EXPECT_EQ(a.stableLineId(0xdeadbeef), 0u);
+}
+
+// --- placement policies ---------------------------------------------------
+
+TEST(PlacePolicy, ToStringParseRoundTrip) {
+  for (PlacePolicy p :
+       {PlacePolicy::kFirstTouch, PlacePolicy::kInterleave,
+        PlacePolicy::kAllocatorSocket, PlacePolicy::kAdversarialRemote}) {
+    PlacePolicy back;
+    ASSERT_TRUE(parsePlacePolicy(toString(p), &back)) << toString(p);
+    EXPECT_EQ(back, p);
+  }
+  PlacePolicy dummy;
+  EXPECT_FALSE(parsePlacePolicy("", &dummy));
+  EXPECT_FALSE(parsePlacePolicy("firsttouch", &dummy));
+  EXPECT_FALSE(parsePlacePolicy("remote", &dummy));
+}
+
+TEST(Alloc, FirstTouchHomesOnAllocatingSocket) {
+  const natle::sim::MachineConfig cfg = natle::sim::FourSocketRing();
+  SimAllocator a(true, PlacePolicy::kFirstTouch, &cfg);
+  for (int s = 0; s < 4; ++s) {
+    void* p = a.alloc(64, s);
+    EXPECT_EQ(a.homeOf(lineOf(p)), s);
+  }
+}
+
+TEST(Alloc, AllocatorSocketHomesEverythingOnZero) {
+  const natle::sim::MachineConfig cfg = natle::sim::FourSocketRing();
+  SimAllocator a(true, PlacePolicy::kAllocatorSocket, &cfg);
+  for (int s = 0; s < 4; ++s) {
+    void* p = a.alloc(64, s);
+    EXPECT_EQ(a.homeOf(lineOf(p)), 0);
+  }
+}
+
+TEST(Alloc, AdversarialRemoteHomesFarthestSocket) {
+  // On the 4-ring the opposite socket is farthest: 0<->2, 1<->3.
+  const natle::sim::MachineConfig cfg = natle::sim::FourSocketRing();
+  SimAllocator a(true, PlacePolicy::kAdversarialRemote, &cfg);
+  const int expect_home[4] = {2, 3, 0, 1};
+  for (int s = 0; s < 4; ++s) {
+    void* p = a.alloc(64, s);
+    EXPECT_EQ(a.homeOf(lineOf(p)), expect_home[s]) << "alloc socket " << s;
+  }
+  // Without a config (default 2-socket) the farthest socket is the other one.
+  SimAllocator b(true, PlacePolicy::kAdversarialRemote);
+  EXPECT_EQ(b.homeOf(lineOf(b.alloc(64, 0))), 1);
+  EXPECT_EQ(b.homeOf(lineOf(b.alloc(64, 1))), 0);
+}
+
+TEST(Alloc, InterleaveStripesConsecutiveLines) {
+  const natle::sim::MachineConfig cfg = natle::sim::FourSocketRing();
+  SimAllocator a(true, PlacePolicy::kInterleave, &cfg);
+  // One multi-line block: consecutive lines cycle through all four sockets.
+  char* p = static_cast<char*>(a.alloc(8 * 64, 0));
+  int seen[4] = {};
+  for (int i = 0; i < 8; ++i) {
+    const int8_t h = a.homeOf(lineOf(p + i * 64));
+    ASSERT_GE(h, 0);
+    ASSERT_LT(h, 4);
+    seen[h]++;
+    if (i > 0) {
+      const int8_t prev = a.homeOf(lineOf(p + (i - 1) * 64));
+      EXPECT_EQ(h, static_cast<int8_t>((prev + 1) % 4));
+    }
+  }
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(seen[s], 2);
+}
+
+TEST(Alloc, InterleaveReusesFreedBlocks) {
+  const natle::sim::MachineConfig cfg = natle::sim::FourSocketRing();
+  SimAllocator a(true, PlacePolicy::kInterleave, &cfg);
+  void* p = a.alloc(64, 3);
+  a.free(p);
+  // Freed interleaved blocks return to the shared interleaved arena's free
+  // list regardless of which socket allocates next.
+  void* q = a.alloc(64, 1);
+  EXPECT_EQ(p, q);
+}
+
+TEST(Directory, ForEachIteratesInAscendingLineOrder) {
+  Directory d;
+  // Insertion order scrambled; unordered_map hash order would scramble it
+  // differently again.
+  for (uint64_t line : {900u, 3u, 512u, 77u, 1u, 4096u}) d.lookup(line, 0);
+  std::vector<uint64_t> walked;
+  d.forEach([&](uint64_t line, LineState&) { walked.push_back(line); });
+  EXPECT_EQ(walked, (std::vector<uint64_t>{1, 3, 77, 512, 900, 4096}));
+}
+
+// --- interconnect ---------------------------------------------------------
+
+TEST(Interconnect, OneHopCollapsesToBaseCosts) {
+  const natle::sim::MachineConfig cfg = natle::sim::LargeMachine();
+  Interconnect net(cfg);
+  EXPECT_EQ(net.hops(0, 1), 1);
+  EXPECT_EQ(net.scaled(500, 0, 1), 500u);  // exactly base, no FP rounding
+  // First transfer at t=0 passes straight through; a second issued at the
+  // same instant queues behind the link occupancy.
+  EXPECT_EQ(net.transferDelay(0, 1, 0), 0u);
+  EXPECT_EQ(net.transferDelay(0, 1, 0), cfg.link_occupancy);
+}
+
+TEST(Interconnect, HopScalingAndLongerHolds) {
+  const natle::sim::MachineConfig cfg = natle::sim::FourSocketRing();
+  Interconnect net(cfg);
+  EXPECT_EQ(net.hops(0, 2), 2);
+  // hop_factor 0.5: two hops cost 1.5x base.
+  EXPECT_EQ(net.scaled(500, 0, 2), 750u);
+  EXPECT_EQ(net.scaled(500, 0, 1), 500u);
+  // A 2-hop transfer reserves its link twice as long.
+  EXPECT_EQ(net.transferDelay(0, 2, 0), 0u);
+  EXPECT_EQ(net.transferDelay(0, 2, 0), 2u * cfg.link_occupancy);
+}
+
+TEST(Interconnect, LinksQueueIndependently) {
+  const natle::sim::MachineConfig cfg = natle::sim::FourSocketRing();
+  Interconnect net(cfg);
+  // Saturate the {0,1} link.
+  EXPECT_EQ(net.transferDelay(0, 1, 0), 0u);
+  EXPECT_EQ(net.transferDelay(0, 1, 0), cfg.link_occupancy);
+  // Other pairs are unaffected.
+  EXPECT_EQ(net.transferDelay(2, 3, 0), 0u);
+  EXPECT_EQ(net.transferDelay(0, 3, 0), 0u);
+  // The pair index is unordered: (1, 0) shares the queue with (0, 1).
+  EXPECT_EQ(net.transferDelay(1, 0, 0), 2u * cfg.link_occupancy);
+}
+
+TEST(Interconnect, FaultSpikeTargetsOnePair) {
+  natle::fault::FaultSpec spec;
+  std::string err;
+  ASSERT_TRUE(natle::fault::FaultSpec::parse(
+      "link:extra=900,period_ms=1,duration_ms=1,jitter=0,from=0,to=2;seed=5",
+      &spec, &err))
+      << err;
+  const natle::sim::MachineConfig cfg = natle::sim::FourSocketRing();
+  natle::fault::FaultSchedule sched(spec, cfg);
+  Interconnect net(cfg);
+  net.setFaults(&sched);
+  // With zero jitter the first window is [1ms, 2ms); query inside it. The
+  // spike hits the targeted pair only.
+  const uint64_t t = cfg.msToCycles(1.2);
+  EXPECT_EQ(net.transferDelay(0, 2, t), 900u);
+  EXPECT_EQ(net.transferDelay(1, 3, t), 0u);
 }

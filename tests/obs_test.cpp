@@ -328,3 +328,63 @@ TEST(ObsSetBench, TracingNeverPerturbsAndIsDeterministic) {
   EXPECT_EQ(t1.raw_trace.front(), '{');
   EXPECT_EQ(t1.raw_trace.back(), '\n');
 }
+
+TEST(Attribution, HopHistogramBucketsAbortsByDistance) {
+  const auto mc = sim::FourSocketRing();
+  std::vector<uint8_t> hops(16);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      hops[a * 4 + b] = static_cast<uint8_t>(a == b ? 0 : mc.hops(a, b));
+    }
+  }
+  Attribution at;
+  at.setTopology(4, hops);
+  auto abort_event = [](int killer_socket, int victim_socket) {
+    TraceEvent e;
+    e.kind = EventKind::kTxAbort;
+    e.reason = htm::AbortReason::kConflict;
+    e.socket = static_cast<int8_t>(victim_socket);
+    e.killer_tid = killer_socket >= 0 ? 1 : -1;
+    e.killer_socket = static_cast<int8_t>(killer_socket);
+    return e;
+  };
+  at.consume(abort_event(0, 0));   // same socket: hop 0
+  at.consume(abort_event(0, 1));   // ring neighbours: hop 1
+  at.consume(abort_event(3, 0));   // hop 1
+  at.consume(abort_event(0, 2));   // opposite sockets: hop 2
+  at.consume(abort_event(-1, 2));  // self-inflicted: not attributed
+  ASSERT_EQ(at.abortsByHops().size(), 3u);
+  EXPECT_EQ(at.abortsByHops()[0], 1u);
+  EXPECT_EQ(at.abortsByHops()[1], 2u);
+  EXPECT_EQ(at.abortsByHops()[2], 1u);
+  EXPECT_EQ(at.selfOrUnknownAborts(), 1u);
+  EXPECT_NE(at.toJson().find("\"aborts_by_hops\":[1,2,1]"), std::string::npos)
+      << at.toJson();
+
+  // Merging adopts the topology and sums histograms.
+  Attribution other;
+  Attribution merged;
+  other.setTopology(4, hops);
+  other.consume(abort_event(2, 0));  // hop 2
+  merged += at;
+  merged += other;
+  ASSERT_EQ(merged.abortsByHops().size(), 3u);
+  EXPECT_EQ(merged.abortsByHops()[2], 2u);
+}
+
+TEST(Attribution, TrivialTopologyLeavesJsonUnchanged) {
+  // The default 2-socket machine is all-adjacent: installing its distance
+  // matrix must not add keys (default result files stay byte-identical).
+  Attribution at;
+  at.setTopology(2, {0, 1, 1, 0});
+  TraceEvent e;
+  e.kind = EventKind::kTxAbort;
+  e.reason = htm::AbortReason::kConflict;
+  e.socket = 0;
+  e.killer_tid = 1;
+  e.killer_socket = 1;
+  at.consume(e);
+  EXPECT_TRUE(at.abortsByHops().empty());
+  EXPECT_EQ(at.toJson().find("aborts_by_hops"), std::string::npos);
+  EXPECT_EQ(at.crossSocketAborts(), 1u);
+}

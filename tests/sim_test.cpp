@@ -2,6 +2,9 @@
 // blocking, topology placement, hyperthread penalty, determinism.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <stdexcept>
+#include <tuple>
 #include <vector>
 
 #include "sim/fiber.hpp"
@@ -200,4 +203,144 @@ TEST(Rng, BelowInRange) {
   for (int i = 0; i < 1000; ++i) {
     EXPECT_LT(r.below(17), 17u);
   }
+}
+
+// --- multi-socket topology ---------------------------------------------
+
+TEST(Topology, FourSocketFillSocketFirst) {
+  MachineConfig cfg = FourSocketRing();
+  ASSERT_EQ(cfg.totalThreads(), 144);
+  // Sockets fill strictly in order: 36 hardware threads per socket.
+  for (int i = 0; i < 144; ++i) {
+    EXPECT_EQ(placeThread(cfg, PinPolicy::kFillSocketFirst, i).socket, i / 36);
+  }
+  // Within a socket: all 18 cores before any hyperthread.
+  for (int s = 0; s < 4; ++s) {
+    for (int j = 0; j < 18; ++j) {
+      auto slot = placeThread(cfg, PinPolicy::kFillSocketFirst, s * 36 + j);
+      EXPECT_EQ(slot.ht, 0);
+      EXPECT_EQ(slot.core_global, s * 18 + j);
+    }
+    for (int j = 18; j < 36; ++j) {
+      EXPECT_EQ(placeThread(cfg, PinPolicy::kFillSocketFirst, s * 36 + j).ht,
+                1);
+    }
+  }
+}
+
+TEST(Topology, FourSocketAlternateAndUnpinnedRoundRobin) {
+  MachineConfig cfg = FourSocketRing();
+  for (PinPolicy p : {PinPolicy::kAlternateSockets, PinPolicy::kUnpinned}) {
+    for (int i = 0; i < 144; ++i) {
+      auto slot = placeThread(cfg, p, i);
+      EXPECT_EQ(slot.socket, i % 4);
+      // Cores fill before hyperthreads within each socket.
+      EXPECT_EQ(slot.ht, (i / 4) / cfg.cores_per_socket);
+    }
+  }
+}
+
+TEST(Topology, OddThreadCountsYieldDistinctValidSlots) {
+  MachineConfig cfg = FourSocketRing();
+  for (PinPolicy p : {PinPolicy::kFillSocketFirst, PinPolicy::kAlternateSockets,
+                      PinPolicy::kUnpinned}) {
+    for (int n : {1, 7, 23, 37, 143}) {
+      std::set<std::tuple<int, int, int>> seen;
+      for (int i = 0; i < n; ++i) {
+        auto s = placeThread(cfg, p, i);
+        // Slot is inside the machine and internally consistent.
+        EXPECT_GE(s.socket, 0);
+        EXPECT_LT(s.socket, cfg.sockets);
+        EXPECT_EQ(s.socket, s.core_global / cfg.cores_per_socket);
+        EXPECT_GE(s.ht, 0);
+        EXPECT_LT(s.ht, cfg.threads_per_core);
+        // No two threads share a hardware slot.
+        EXPECT_TRUE(seen.insert({s.socket, s.core_global, s.ht}).second)
+            << toString(p) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Topology, RingAndMeshDistanceProperties) {
+  for (int n : {2, 3, 4, 6, 8}) {
+    const auto d = RingDistance(n);
+    for (int a = 0; a < n; ++a) {
+      EXPECT_EQ(d[a * n + a], 0);
+      for (int b = 0; b < n; ++b) {
+        EXPECT_EQ(d[a * n + b], d[b * n + a]);  // symmetric
+        if (a != b) {
+          EXPECT_GE(d[a * n + b], 1);
+          EXPECT_LE(d[a * n + b], n / 2);  // never longer than half the ring
+        }
+      }
+    }
+  }
+  // 4-ring: opposite sockets are two hops, neighbours one.
+  const auto r4 = RingDistance(4);
+  EXPECT_EQ(r4[0 * 4 + 1], 1);
+  EXPECT_EQ(r4[0 * 4 + 2], 2);
+  EXPECT_EQ(r4[0 * 4 + 3], 1);
+  // 2x4 mesh: Manhattan distance, corner to far corner = 4.
+  const auto m = MeshDistance(2, 4);
+  EXPECT_EQ(m[0 * 8 + 7], 4);
+  EXPECT_EQ(m[0 * 8 + 4], 1);
+  EXPECT_EQ(m[3 * 8 + 4], 4);
+}
+
+// --- config validation ---------------------------------------------------
+
+TEST(MachineConfigValidate, PresetsAreValid) {
+  EXPECT_EQ(LargeMachine().validate(), "");
+  EXPECT_EQ(SmallMachine().validate(), "");
+  EXPECT_EQ(FourSocketRing().validate(), "");
+  EXPECT_EQ(EightSocketMesh().validate(), "");
+}
+
+TEST(MachineConfigValidate, RejectsBadShapes) {
+  MachineConfig c = LargeMachine();
+  c.sockets = 0;
+  EXPECT_NE(c.validate().find("sockets"), std::string::npos);
+  c = LargeMachine();
+  c.sockets = 17;
+  EXPECT_NE(c.validate().find("sockets"), std::string::npos);
+  c = LargeMachine();
+  c.ghz = 0;
+  EXPECT_NE(c.validate().find("ghz"), std::string::npos);
+  c = LargeMachine();
+  c.l1_sets = 48;  // not a power of two: set indexing would be wrong
+  EXPECT_NE(c.validate().find("l1_sets"), std::string::npos);
+  c = LargeMachine();
+  c.l1_ways = 0;
+  EXPECT_NE(c.validate().find("l1_ways"), std::string::npos);
+  c = LargeMachine();
+  c.hop_factor = -0.5;
+  EXPECT_NE(c.validate().find("hop_factor"), std::string::npos);
+}
+
+TEST(MachineConfigValidate, RejectsBadDistanceMatrices) {
+  MachineConfig c = FourSocketRing();
+  c.distance.pop_back();  // wrong size
+  EXPECT_NE(c.validate().find("distance"), std::string::npos);
+
+  c = FourSocketRing();
+  c.distance[0 * 4 + 0] = 1;  // nonzero diagonal
+  EXPECT_NE(c.validate().find("distance"), std::string::npos);
+
+  c = FourSocketRing();
+  c.distance[0 * 4 + 2] = 3;  // asymmetric: [2][0] still 2
+  EXPECT_NE(c.validate().find("distance"), std::string::npos);
+
+  c = FourSocketRing();
+  c.distance[0 * 4 + 1] = 0;
+  c.distance[1 * 4 + 0] = 0;  // disconnected pair
+  EXPECT_NE(c.validate().find("distance"), std::string::npos);
+}
+
+TEST(MachineConfigValidate, MachineCtorRejectsInvalidConfig) {
+  MachineConfig c = LargeMachine();
+  c.ghz = 0;
+  EXPECT_THROW(Machine{c}, std::invalid_argument);
+  MachineConfig ok = FourSocketRing();
+  EXPECT_NO_THROW(Machine{ok});
 }

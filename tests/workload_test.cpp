@@ -2,6 +2,7 @@
 // plumbing, pinning policies, external work, and the thread axis helper.
 #include <gtest/gtest.h>
 
+#include "workload/json.hpp"
 #include "workload/options.hpp"
 #include "workload/setbench.hpp"
 
@@ -236,4 +237,59 @@ TEST(BenchOptions, TryParseRejectsGarbageScaleEnv) {
   std::string err;
   EXPECT_FALSE(BenchOptions::tryParse(1, const_cast<char**>(argv), &o, &err));
   EXPECT_NE(err.find("NATLE_SIM_SCALE"), std::string::npos);
+}
+
+TEST(SetBench, RunsOnFourSocketRing) {
+  SetBenchConfig cfg = quickCfg();
+  cfg.machine = sim::FourSocketRing();
+  cfg.nthreads = 80;  // spills across three sockets under fill-socket-first
+  const SetBenchResult r = runSetBench(cfg);
+  EXPECT_GT(r.stats.ops, 0u);
+  EXPECT_GT(r.mops, 0.0);
+}
+
+TEST(SetBench, AdversarialPlacementCostsThroughput) {
+  // 36 threads on socket 0, nodes homed on socket 1: every cold fill crosses
+  // the interconnect and reserves the link, so the link occupancy queue —
+  // absent under first-touch — throttles the whole socket.
+  SetBenchConfig cfg;
+  cfg.key_range = 65536;
+  cfg.update_pct = 100;
+  cfg.nthreads = 36;
+  cfg.measure_ms = 0.3;
+  cfg.warmup_ms = 0.15;
+  cfg.placement = mem::PlacePolicy::kFirstTouch;
+  const double local = runSetBench(cfg).mops;
+  cfg.placement = mem::PlacePolicy::kAdversarialRemote;
+  const double remote = runSetBench(cfg).mops;
+  EXPECT_GT(local, 1.1 * remote);
+}
+
+TEST(SetBench, PlacementKeepsDeterminism) {
+  SetBenchConfig cfg = quickCfg();
+  cfg.placement = mem::PlacePolicy::kInterleave;
+  cfg.nthreads = 4;
+  const SetBenchResult a = runSetBench(cfg);
+  const SetBenchResult b = runSetBench(cfg);
+  EXPECT_EQ(a.mops, b.mops);
+  EXPECT_EQ(a.stats.tx_begins, b.stats.tx_begins);
+  EXPECT_EQ(a.stats.totalAborts(), b.stats.totalAborts());
+}
+
+TEST(SetBench, PlacementSerializedOnlyWhenNonDefault) {
+  SetBenchConfig cfg = quickCfg();
+  EXPECT_EQ(toJson(cfg).find("placement"), std::string::npos);
+  cfg.placement = mem::PlacePolicy::kAdversarialRemote;
+  const std::string j = toJson(cfg);
+  EXPECT_NE(j.find("\"placement\":\"adversarial-remote\""), std::string::npos)
+      << j;
+}
+
+TEST(SetBench, DistanceMatrixSerializedOnlyWhenPresent) {
+  EXPECT_EQ(toJson(sim::LargeMachine()).find("distance"), std::string::npos);
+  const std::string j = toJson(sim::FourSocketRing());
+  EXPECT_NE(j.find("\"distance\":[0,1,2,1,1,0,1,2,2,1,0,1,1,2,1,0]"),
+            std::string::npos)
+      << j;
+  EXPECT_NE(j.find("\"hop_factor\":0.5"), std::string::npos) << j;
 }
