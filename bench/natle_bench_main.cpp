@@ -25,6 +25,7 @@
 #include "fault/fault.hpp"
 #include "mem/alloc.hpp"
 #include "sim/config.hpp"
+#include "traffic/arrival.hpp"
 #include "workload/json.hpp"
 
 using namespace natle;
@@ -78,6 +79,15 @@ void printUsage(std::FILE* to) {
       "                           adversarial-remote\n"
       "  --watchdog-ms N          fail any point making no progress for N\n"
       "                           simulated ms (records it, keeps sweeping)\n"
+      "  --arrival SPEC           traffic experiments (service_*): arrival\n"
+      "                           process for every request class, e.g.\n"
+      "                           'poisson:rate=300' or 'burst:rate=200,"
+      "on_ms=0.3,\n"
+      "                           off_ms=0.7,mult=4'\n"
+      "  --duration-ms N          traffic experiments: simulated measurement\n"
+      "                           window in ms\n"
+      "  --slo-us N               traffic experiments: per-class latency SLO\n"
+      "                           threshold in us\n"
       "  --isolate                fork each point into its own process;\n"
       "                           crashes/timeouts become failed records\n"
       "  --point-timeout S        wall-clock seconds per point before an\n"
@@ -253,6 +263,25 @@ int cmdRun(int argc, char** argv) {
                      v);
         return 2;
       }
+    } else if (std::strcmp(a, "--arrival") == 0) {
+      opt.arrival_spec = needValue(a);
+    } else if (std::strncmp(a, "--arrival=", 10) == 0) {
+      opt.arrival_spec = a + 10;
+    } else if (std::strcmp(a, "--duration-ms") == 0 ||
+               std::strncmp(a, "--duration-ms=", 14) == 0) {
+      const char* v = a[13] == '=' ? a + 14 : needValue(a);
+      if (!BenchOptions::parseScale(v, &opt.duration_ms)) {
+        std::fprintf(stderr, "natle-bench: invalid --duration-ms value: %s\n",
+                     v);
+        return 2;
+      }
+    } else if (std::strcmp(a, "--slo-us") == 0 ||
+               std::strncmp(a, "--slo-us=", 9) == 0) {
+      const char* v = a[8] == '=' ? a + 9 : needValue(a);
+      if (!BenchOptions::parseScale(v, &opt.slo_us)) {
+        std::fprintf(stderr, "natle-bench: invalid --slo-us value: %s\n", v);
+        return 2;
+      }
     } else if (std::strcmp(a, "--isolate") == 0) {
       ropt.isolate = true;
     } else if (std::strcmp(a, "--point-timeout") == 0 ||
@@ -306,6 +335,15 @@ int cmdRun(int argc, char** argv) {
                    "first-touch, interleave, allocator-socket, or "
                    "adversarial-remote)\n",
                    opt.placement.c_str());
+      return 2;
+    }
+  }
+  if (!opt.arrival_spec.empty()) {
+    traffic::ArrivalSpec spec;
+    std::string err;
+    if (!traffic::ArrivalSpec::parse(opt.arrival_spec, &spec, &err)) {
+      std::fprintf(stderr, "natle-bench: invalid --arrival spec: %s\n",
+                   err.c_str());
       return 2;
     }
   }

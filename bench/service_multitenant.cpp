@@ -1,0 +1,131 @@
+// Multi-tenant interference (traffic engine + abort attribution): three
+// request classes — cheap point ops, long range scans, and bulk loads —
+// share one AVL tree, under both client models. Open loop shows how much a
+// bulk tenant's write sets inflate the point tenant's tail; closed loop
+// shows the same mix when offered load adapts to service speed. Tracing is
+// forced on so the per-class blame matrix (which tenant's transactions kill
+// which victim's) lands in the attribution block of every record.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/exp.hpp"
+#include "traffic/plan.hpp"
+
+using namespace natle;
+using workload::BenchOptions;
+
+namespace {
+
+double auxVal(const exp::PointData& p, const std::string& key) {
+  for (const auto& [k, v] : p.aux) {
+    if (k == key) return v;
+  }
+  return 0;
+}
+
+void planServiceMultitenant(const BenchOptions& opt, exp::Plan& plan) {
+  // Force per-event tracing: the point of this experiment is the per-class
+  // abort blame, which only exists when the tracer runs.
+  BenchOptions topt = opt;
+  topt.trace = true;
+  auto sweep = std::make_shared<traffic::ServiceSweep>(topt);
+
+  traffic::ServiceConfig base;
+  base.key_range = 65536;
+  base.ds = workload::DsKind::kAvl;
+  base.warmup_ms = 0.5 * opt.time_scale;
+  base.measure_ms = 2.0 * opt.time_scale;
+
+  traffic::ClassSpec point;
+  point.name = "point";
+  point.kind = traffic::RequestKind::kPoint;
+  point.arrival.kind = traffic::ArrivalKind::kPoisson;
+  point.arrival.rate = 10000;
+  point.clients = 4;
+  point.update_pct = 50;
+  point.slo_us = 100;
+
+  traffic::ClassSpec scan;
+  scan.name = "scan";
+  scan.kind = traffic::RequestKind::kScan;
+  scan.arrival.kind = traffic::ArrivalKind::kPoisson;
+  scan.arrival.rate = 300;
+  scan.clients = 1;
+  scan.scan_len = 64;
+  scan.slo_us = 400;
+
+  traffic::ClassSpec bulk;
+  bulk.name = "bulk";
+  bulk.kind = traffic::RequestKind::kBulk;
+  bulk.arrival.kind = traffic::ArrivalKind::kBurst;
+  bulk.arrival.rate = 40;
+  bulk.arrival.on_ms = 0.25;
+  bulk.arrival.off_ms = 0.75;
+  bulk.clients = 1;
+  bulk.bulk_n = 24;
+  bulk.slo_us = 1000;
+
+  base.classes = {point, scan, bulk};
+
+  std::vector<int> threads = {18, 36, 72};
+  if (opt.full) threads = {18, 36, 54, 72};
+
+  for (traffic::ClientModel model :
+       {traffic::ClientModel::kOpen, traffic::ClientModel::kClosed}) {
+    for (workload::SyncKind sync :
+         {workload::SyncKind::kTle, workload::SyncKind::kNatle}) {
+      for (int n : threads) {
+        traffic::ServiceConfig cfg = base;
+        cfg.model = model;
+        cfg.sync = sync;
+        cfg.nthreads = n;
+        const std::string series = std::string(workload::toString(sync)) +
+                                   "-" + traffic::toString(model);
+        sweep->point(plan, series, n, cfg);
+      }
+    }
+  }
+
+  plan.emit = [sweep](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    for (const auto& e : sweep->points()) {
+      const exp::PointData& p = results.at(e.job);
+      if (p.status != exp::PointStatus::kOk) continue;
+      rows.push_back({e.series, e.x, p.value});
+      for (const char* cls : {"point", "scan", "bulk"}) {
+        rows.push_back({e.series + "-" + cls + "-p99", e.x,
+                        auxVal(p, std::string(cls) + "_p99_us")});
+        rows.push_back({e.series + "-" + cls + "-slo-violations", e.x,
+                        auxVal(p, std::string(cls) + "_slo_violations")});
+      }
+      if (p.has_attribution) {
+        // Victim-side blame: how many aborts each tenant class suffered.
+        const char* names[] = {"point", "scan", "bulk"};
+        for (const auto& [cls, aborts] : p.attribution.victimAbortsByClass()) {
+          if (cls < 0 || cls > 2) continue;
+          rows.push_back({e.series + "-" + names[cls] + "-victim-aborts", e.x,
+                          static_cast<double>(aborts)});
+        }
+      }
+    }
+    return rows;
+  };
+}
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    service_multitenant, "service_multitenant",
+    "point/scan/bulk tenants sharing one AVL: per-class tails and abort blame",
+    "new (service)",
+    "y = total completed krps; -<class>-p99 = per-tenant p99 (us); "
+    "-<class>-slo-violations = requests over that tenant's SLO; "
+    "-<class>-victim-aborts = HTM aborts suffered by that tenant (traced)",
+    planServiceMultitenant);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("service_multitenant", argc, argv);
+}
+#endif

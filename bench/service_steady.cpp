@@ -1,0 +1,95 @@
+// Steady-state service benchmark (traffic engine): an open-loop Poisson
+// stream of point requests against one shared AVL tree, TLE vs NATLE, swept
+// over the offered arrival rate. Fixed-ops microbenchmarks measure
+// throughput only; here each request is timed arrival -> completion in
+// simulated cycles, so the y axis is the p99 latency including queueing
+// delay — flat while the service keeps up, then exploding as the offered
+// rate approaches capacity (and the -backlog series goes nonzero).
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/exp.hpp"
+#include "traffic/plan.hpp"
+
+using namespace natle;
+using workload::BenchOptions;
+
+namespace {
+
+double auxVal(const exp::PointData& p, const std::string& key) {
+  for (const auto& [k, v] : p.aux) {
+    if (k == key) return v;
+  }
+  return 0;
+}
+
+void planServiceSteady(const BenchOptions& opt, exp::Plan& plan) {
+  auto sweep = std::make_shared<traffic::ServiceSweep>(opt);
+  traffic::ServiceConfig cfg;
+  cfg.model = traffic::ClientModel::kOpen;
+  cfg.nthreads = 36;  // both sockets serving
+  cfg.key_range = 65536;
+  cfg.ds = workload::DsKind::kAvl;
+  cfg.warmup_ms = 0.5 * opt.time_scale;
+  cfg.measure_ms = 2.0 * opt.time_scale;
+
+  traffic::ClassSpec cls;
+  cls.name = "point";
+  cls.kind = traffic::RequestKind::kPoint;
+  cls.arrival.kind = traffic::ArrivalKind::kPoisson;
+  cls.update_pct = 50;
+  cls.slo_us = 50;
+
+  // Offered rate axis in requests per simulated ms (= krps). The top end is
+  // past the simulated service's saturation point, so the queueing blowup is
+  // on-axis for both lock implementations.
+  std::vector<double> rates = {4000, 8000, 16000, 32000, 64000, 96000};
+  if (opt.full) {
+    rates = {2000,  4000,  8000,  16000, 24000, 32000,
+             48000, 64000, 80000, 96000, 128000};
+  }
+
+  for (workload::SyncKind sync :
+       {workload::SyncKind::kTle, workload::SyncKind::kNatle}) {
+    cfg.sync = sync;
+    for (double rate : rates) {
+      cls.arrival.rate = rate;
+      cfg.classes = {cls};
+      sweep->point(plan, workload::toString(sync), rate, cfg);
+    }
+  }
+
+  plan.emit = [sweep](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    for (const auto& e : sweep->points()) {
+      const exp::PointData& p = results.at(e.job);
+      if (p.status != exp::PointStatus::kOk) continue;
+      rows.push_back({e.series, e.x, auxVal(p, "point_p99_us")});
+      rows.push_back({e.series + "-p50", e.x, auxVal(p, "point_p50_us")});
+      rows.push_back({e.series + "-p999", e.x, auxVal(p, "point_p999_us")});
+      rows.push_back({e.series + "-krps", e.x, p.value});
+      rows.push_back({e.series + "-backlog", e.x, auxVal(p, "backlog_end")});
+      rows.push_back({e.series + "-slo-violations", e.x,
+                      auxVal(p, "point_slo_violations")});
+    }
+    return rows;
+  };
+}
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(
+    service_steady, "service_steady",
+    "open-loop Poisson point requests on one AVL, TLE vs NATLE, rate sweep",
+    "new (service)",
+    "y = p99 latency (us); -p50/-p999 = quantiles (us); -krps = completed "
+    "throughput; -backlog = unserved in-window requests; -slo-violations = "
+    "requests over 50us",
+    planServiceSteady);
+
+#ifndef NATLE_EXP_NO_MAIN
+int main(int argc, char** argv) {
+  return natle::exp::standaloneMain("service_steady", argc, argv);
+}
+#endif

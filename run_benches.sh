@@ -1,10 +1,13 @@
 #!/bin/bash
-# Thin wrapper over the natle-bench CLI: run every registered experiment and
-# write bench_results/<name>.{csv,json} plus bench_results/manifest.json.
+# Thin wrapper over the natle-bench CLI: run experiments and write
+# bench_results/<name>.{csv,json} plus bench_results/manifest.json.
 #
-#   ./run_benches.sh                 # everything, one worker
-#   ./run_benches.sh -j8 --progress  # extra flags pass straight through
+#   ./run_benches.sh                          # everything, one worker
+#   ./run_benches.sh -j8 --progress           # extra flags pass straight through
+#   ./run_benches.sh --filter 'service_*' -j4 # your selection, no --all added
 #
+# Every flag is forwarded to `natle-bench run` verbatim; --all is injected
+# only when the caller didn't already pick a selection via --filter/--all.
 # See `natle-bench --help` (or EXPERIMENTS.md) for the full flag list.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -13,4 +16,13 @@ if [ ! -x "$BIN" ]; then
   echo "error: $BIN not built (cmake -B build -S . && cmake --build build)" >&2
   exit 1
 fi
-exec "$BIN" run --all "$@"
+want_all=1
+for arg in "$@"; do
+  case "$arg" in
+    --all|--filter|--filter=*) want_all=0 ;;
+  esac
+done
+if [ "$want_all" = 1 ]; then
+  exec "$BIN" run --all "$@"
+fi
+exec "$BIN" run "$@"

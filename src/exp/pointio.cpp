@@ -59,6 +59,9 @@ void appendPointPayload(workload::JsonWriter& w, const PointData& p) {
   if (!p.attribution_json.empty()) {
     w.key("attribution").raw(p.attribution_json);
   }
+  if (!p.service_json.empty()) {
+    w.key("service").raw(p.service_json);
+  }
 }
 
 bool statsFromJson(const workload::JsonValue& v, htm::TxStats* s) {
@@ -172,6 +175,9 @@ bool pointDataFromJson(const workload::JsonValue& v, PointData* out) {
   }
   if (const workload::JsonValue* attr = v.find("attribution")) {
     out->attribution_json = attr->raw;
+  }
+  if (const workload::JsonValue* svc = v.find("service")) {
+    out->service_json = svc->raw;
   }
   if (const workload::JsonValue* retries = v.find("retries")) {
     out->retries = static_cast<int>(retries->asI64());

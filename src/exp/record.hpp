@@ -36,6 +36,11 @@ struct PointData {
   // hot lines) when the job ran with tracing; empty otherwise. Spliced into
   // the JSON record verbatim.
   std::string attribution_json;
+  // Serialized traffic::ServiceResult metrics block (per-class latency
+  // quantiles, SLO violations, time-bucketed latency series) when the job is
+  // a traffic-driven service run; empty otherwise. Spliced verbatim, like
+  // attribution_json.
+  std::string service_json;
   // The same attribution in structured form so emit() hooks can derive
   // cross-point metrics (e.g. cross-socket abort share) without re-parsing
   // the JSON. Never serialized directly.

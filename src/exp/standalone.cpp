@@ -29,6 +29,10 @@ void printUsage(const char* prog, std::FILE* to) {
                "                   allocator-socket, adversarial-remote\n"
                "  --watchdog-ms N  fail any point making no progress for N "
                "simulated ms\n"
+               "traffic experiments (service_*):\n"
+               "  --arrival SPEC   arrival process for every request class\n"
+               "  --duration-ms N  simulated measurement window in ms\n"
+               "  --slo-us N       per-class latency SLO threshold in us\n"
                "environment:\n"
                "  NATLE_SIM_SCALE=<float>  scale simulated trial length\n",
                prog);
@@ -92,6 +96,27 @@ int standaloneMain(const char* experiment_name, int argc, char** argv) {
       const char* v = a[13] == '=' ? a + 14 : argv[++i];
       if (!workload::BenchOptions::parseScale(v, &opt.watchdog_ms)) {
         std::fprintf(stderr, "invalid --watchdog-ms value: %s\n", v);
+        return 2;
+      }
+    } else if (std::strncmp(a, "--arrival=", 10) == 0) {
+      opt.arrival_spec = a + 10;
+    } else if (std::strcmp(a, "--arrival") == 0 && i + 1 < argc) {
+      // Spec validated by the traffic planner (this library does not link
+      // src/traffic); an unparsable spec leaves experiment defaults in
+      // place, same contract as an unused --fault on a faultless plan.
+      opt.arrival_spec = argv[++i];
+    } else if (std::strncmp(a, "--duration-ms=", 14) == 0 ||
+               (std::strcmp(a, "--duration-ms") == 0 && i + 1 < argc)) {
+      const char* v = a[13] == '=' ? a + 14 : argv[++i];
+      if (!workload::BenchOptions::parseScale(v, &opt.duration_ms)) {
+        std::fprintf(stderr, "invalid --duration-ms value: %s\n", v);
+        return 2;
+      }
+    } else if (std::strncmp(a, "--slo-us=", 9) == 0 ||
+               (std::strcmp(a, "--slo-us") == 0 && i + 1 < argc)) {
+      const char* v = a[8] == '=' ? a + 9 : argv[++i];
+      if (!workload::BenchOptions::parseScale(v, &opt.slo_us)) {
+        std::fprintf(stderr, "invalid --slo-us value: %s\n", v);
         return 2;
       }
     } else if (std::strcmp(a, "--help") == 0 || std::strcmp(a, "-h") == 0) {

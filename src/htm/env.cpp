@@ -124,8 +124,10 @@ void ThreadCtx::handleCapacityEviction(const mem::L1Cache::InsertResult& ir) {
       e.kind = obs::EventKind::kCapacityEvict;
       e.tid = static_cast<int16_t>(tid());  // the evictor
       e.socket = static_cast<int8_t>(socket());
+      e.cls = class_tag_;
       e.killer_tid = static_cast<int16_t>(v->owner->tid());  // the victim
       e.killer_socket = static_cast<int8_t>(v->owner->socket());
+      e.killer_cls = v->owner->class_tag_;
       e.line = env_.mem_.allocator().stableLineId(ir.victim_line);
       e.set = ir.victim_set;
       e.way = ir.victim_way;
@@ -312,6 +314,7 @@ unsigned ThreadCtx::txStart() {
       e.kind = obs::EventKind::kTxBegin;
       e.tid = static_cast<int16_t>(tid());
       e.socket = static_cast<int8_t>(socket());
+      e.cls = class_tag_;
       e.attempt = txn_.attempt_in_seq;
       tr->record(e);
     }
@@ -348,6 +351,7 @@ void ThreadCtx::txCommit() {
       e.kind = obs::EventKind::kTxCommit;
       e.tid = static_cast<int16_t>(tid());
       e.socket = static_cast<int8_t>(socket());
+      e.cls = class_tag_;
       tr->record(e);
     }
   }
@@ -648,9 +652,11 @@ void Env::abortTxn(Txn& v, AbortReason reason, bool may_retry, uint8_t code,
       e.may_retry = may_retry;
       e.tid = static_cast<int16_t>(o->tid());
       e.socket = static_cast<int8_t>(o->socket());
+      e.cls = o->class_tag_;
       if (killer != nullptr) {
         e.killer_tid = static_cast<int16_t>(killer->tid());
         e.killer_socket = static_cast<int8_t>(killer->socket());
+        e.killer_cls = killer->class_tag_;
       }
       e.line = line != 0 ? mem_.allocator().stableLineId(line) : 0;
       e.attempt = v.attempt_in_seq;

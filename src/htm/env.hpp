@@ -144,6 +144,11 @@ class ThreadCtx {
     return cached_socket_;
   }
   sim::Rng& rng() { return st_->rng; }
+  // Request-class tag for multi-tenant attribution (src/traffic): set by the
+  // service harness before each request, stamped onto trace events emitted on
+  // this thread's behalf. -1 = untagged (single-class workloads).
+  int8_t classTag() const { return class_tag_; }
+  void setClassTag(int8_t tag) { class_tag_ = tag; }
   // The underlying simulated thread (for barriers and blocking primitives).
   sim::SimThread& simThread() { return *st_; }
   Env& env() { return env_; }
@@ -183,6 +188,7 @@ class ThreadCtx {
   mem::L1Cache* l1_;
   int cached_socket_ = -1;
   int socket_probe_ctr_ = 0;
+  int8_t class_tag_ = -1;
 };
 
 // Begin a transaction; see ThreadCtx::txStart for the contract. `status_var`

@@ -30,9 +30,14 @@ class Directory {
 
   size_t size() const { return map_.size(); }
 
-  // Debug iteration (auditing, watchdog footprint dumps), in ascending line
-  // order — unordered_map's hash order varies across libstdc++ versions, and
-  // diagnostics built from this walk must be deterministic everywhere.
+  // Iterate every materialised line. GUARANTEE (API contract, not an
+  // implementation detail): f is invoked exactly once per line, in strictly
+  // ascending line order. unordered_map's hash order varies across libstdc++
+  // versions and with the insertion history, but everything built from this
+  // walk — watchdog footprint dumps, audit reports, attribution tables —
+  // ends up in committed byte-compared output, so the order must be
+  // deterministic everywhere. Keep the sort if the map type ever changes;
+  // mem_test has a regression test pinning the contract.
   template <typename F>
   void forEach(F&& f) {
     std::vector<uint64_t> lines;

@@ -66,6 +66,10 @@ void Attribution::consume(const TraceEvent& e) {
       aborts_by_reason_[static_cast<int>(e.reason)]++;
       countAbort(e.killer_tid >= 0 ? e.killer_socket : -1, e.socket);
       if (e.line != 0) line_aborts_[e.line]++;
+      if (e.cls >= 0) {
+        victim_aborts_by_class_[e.cls]++;
+        class_matrix_[{e.killer_cls, e.cls}]++;
+      }
       break;
     case EventKind::kLockFallback: {
       lock_fallbacks_++;
@@ -121,6 +125,11 @@ Attribution& Attribution::operator+=(const Attribution& o) {
     }
   }
   for (const auto& [line, n] : o.line_aborts_) line_aborts_[line] += n;
+  if (class_names_.empty()) class_names_ = o.class_names_;
+  for (const auto& [cls, n] : o.victim_aborts_by_class_) {
+    victim_aborts_by_class_[cls] += n;
+  }
+  for (const auto& [kv, n] : o.class_matrix_) class_matrix_[kv] += n;
   lock_fallbacks_ += o.lock_fallbacks_;
   fallback_episodes_ += o.fallback_episodes_;
   longest_episode_ = std::max(longest_episode_, o.longest_episode_);
@@ -168,6 +177,34 @@ std::string Attribution::toJson(size_t top_k) const {
     w.key("aborts_by_hops");  // index = hop distance, 0 = same socket
     w.beginArray();
     for (uint64_t n : aborts_by_hops_) w.value(n);
+    w.endArray();
+  }
+  if (!victim_aborts_by_class_.empty()) {
+    // Per-tenant blame, only when class-tagged events were seen (untagged
+    // runs keep the pre-traffic byte layout). Classes are labeled with the
+    // installed names, falling back to the numeric id.
+    auto label = [this](int cls) {
+      if (cls < 0) return std::string("self_or_unknown");
+      if (static_cast<size_t>(cls) < class_names_.size()) {
+        return class_names_[static_cast<size_t>(cls)];
+      }
+      return std::to_string(cls);
+    };
+    w.key("aborts_by_victim_class");
+    w.beginObject();
+    for (const auto& [cls, n] : victim_aborts_by_class_) {
+      w.key(label(cls)).value(n);
+    }
+    w.endObject();
+    w.key("class_killer_matrix");
+    w.beginArray();
+    for (const auto& [kv, n] : class_matrix_) {
+      w.beginObject();
+      w.key("killer").value(label(kv.first));
+      w.key("victim").value(label(kv.second));
+      w.key("aborts").value(n);
+      w.endObject();
+    }
     w.endArray();
   }
   w.key("hot_lines");

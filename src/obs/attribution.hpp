@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "htm/abort.hpp"
@@ -62,6 +63,24 @@ class Attribution {
   // (0 = same socket). Empty unless a non-trivial topology is installed.
   const std::vector<uint64_t>& abortsByHops() const { return aborts_by_hops_; }
 
+  // --- per-class blame (multi-tenant traffic) -------------------------------
+  // Class-tagged events (src/traffic stamps every request with its tenant
+  // class) additionally aggregate a victim-class histogram and a
+  // killer-class → victim-class matrix. Untagged runs collect nothing and
+  // the JSON layout is unchanged.
+  void setClassNames(std::vector<std::string> names) {
+    class_names_ = std::move(names);
+  }
+  // Aborts whose victim carried a class tag, by victim class id.
+  const std::map<int, uint64_t>& victimAbortsByClass() const {
+    return victim_aborts_by_class_;
+  }
+  // (killer class, victim class) → aborts; killer -1 = self-inflicted,
+  // hardware-internal, or an untagged killer.
+  const std::map<std::pair<int, int>, uint64_t>& classMatrix() const {
+    return class_matrix_;
+  }
+
   // --- per-line heatmap ----------------------------------------------------
   // Aborts attributed to each (stable) line id, and the top-K hottest lines
   // (count desc, line id asc on ties).
@@ -94,6 +113,10 @@ class Attribution {
   std::vector<uint64_t> aborts_by_hops_;
 
   std::map<uint64_t, uint64_t> line_aborts_;
+
+  std::vector<std::string> class_names_;
+  std::map<int, uint64_t> victim_aborts_by_class_;
+  std::map<std::pair<int, int>, uint64_t> class_matrix_;
 
   uint64_t lock_fallbacks_ = 0;
   uint64_t fallback_episodes_ = 0;

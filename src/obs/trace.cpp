@@ -41,6 +41,9 @@ void appendJson(std::string& out, const TraceEvent& e) {
   w.key("kind").value(toString(e.kind));
   w.key("tid").value(static_cast<int64_t>(e.tid));
   w.key("socket").value(static_cast<int64_t>(e.socket));
+  // Class tags only when tagged: untagged (single-class) runs keep their
+  // pre-traffic byte layout.
+  if (e.cls >= 0) w.key("cls").value(static_cast<int64_t>(e.cls));
   switch (e.kind) {
     case EventKind::kTxBegin:
       w.key("attempt").value(static_cast<uint64_t>(e.attempt));
@@ -53,11 +56,17 @@ void appendJson(std::string& out, const TraceEvent& e) {
       w.key("may_retry").value(e.may_retry);
       w.key("killer_tid").value(static_cast<int64_t>(e.killer_tid));
       w.key("killer_socket").value(static_cast<int64_t>(e.killer_socket));
+      if (e.killer_cls >= 0) {
+        w.key("killer_cls").value(static_cast<int64_t>(e.killer_cls));
+      }
       w.key("line").value(e.line);
       w.key("attempt").value(static_cast<uint64_t>(e.attempt));
       break;
     case EventKind::kCapacityEvict:
       w.key("victim_tid").value(static_cast<int64_t>(e.killer_tid));
+      if (e.killer_cls >= 0) {
+        w.key("victim_cls").value(static_cast<int64_t>(e.killer_cls));
+      }
       w.key("line").value(e.line);
       w.key("set").value(static_cast<uint64_t>(e.set));
       w.key("way").value(static_cast<uint64_t>(e.way));

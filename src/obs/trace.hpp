@@ -53,6 +53,11 @@ struct TraceEvent {
   uint16_t attempt = 0;  // attempt number within the critical-section sequence
   uint16_t set = 0;      // kCapacityEvict: L1 set index
   uint8_t way = 0;       // kCapacityEvict: way within the set
+  // Multi-tenant request-class tags (src/traffic): the class of the thread
+  // the event happened to, and of the other party. -1 = untagged; the JSON
+  // rendering omits the keys then, preserving single-class byte layouts.
+  int8_t cls = -1;
+  int8_t killer_cls = -1;
 };
 
 class Tracer {
@@ -71,6 +76,12 @@ class Tracer {
   // aborts by hop distance (no-op on trivial all-adjacent topologies).
   void setTopology(int sockets, std::vector<uint8_t> hops) {
     attribution_.setTopology(sockets, std::move(hops));
+  }
+
+  // Names for the request-class tags (index = class id) so the attribution
+  // JSON can label the per-class keys.
+  void setClassNames(std::vector<std::string> names) {
+    attribution_.setClassNames(std::move(names));
   }
 
   // Retained events merged across threads back into emission (seq) order,

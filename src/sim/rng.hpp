@@ -27,6 +27,13 @@ inline constexpr uint64_t kStreamFaultStorm = 0x8f31f3c54d1ba64dULL;
 inline constexpr uint64_t kStreamFaultSqueeze = 0xb7c9e1a22f85d30bULL;
 inline constexpr uint64_t kStreamFaultLink = 0xd2e64b89136a9c77ULL;
 inline constexpr uint64_t kStreamFaultStall = 0xe9a1d5733c2b08f1ULL;
+// Traffic engine (src/traffic): arrival-time generation, per-request key
+// material, and closed-loop think times. Indexed by request class (open
+// loop) or by client thread id (closed loop); the two models never share a
+// run, so the index spaces cannot collide.
+inline constexpr uint64_t kStreamArrival = 0xa54c1d3f9e27b861ULL;
+inline constexpr uint64_t kStreamRequest = 0xc3f8a91d64e0b527ULL;
+inline constexpr uint64_t kStreamThink = 0xf16b8d24a9c35e03ULL;
 
 // Seed for stream `index` of `domain`, derived from `base_seed`. Mixes all
 // three through SplitMix64 twice so nearby (seed, index) pairs decorrelate.

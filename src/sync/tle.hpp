@@ -106,6 +106,7 @@ class TleLock {
       e.kind = obs::EventKind::kLockFallback;
       e.tid = static_cast<int16_t>(ctx.tid());
       e.socket = static_cast<int8_t>(ctx.socket());
+      e.cls = ctx.classTag();
       tr->record(e);
     }
 #ifdef NATLE_DEBUG_EXCLUSIVE_FALLBACK

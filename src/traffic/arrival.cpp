@@ -1,0 +1,200 @@
+#include "traffic/arrival.hpp"
+
+#include <charconv>
+#include <cmath>
+
+namespace natle::traffic {
+
+const char* toString(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kFixed: return "fixed";
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kBurst: return "burst";
+    case ArrivalKind::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+namespace {
+
+bool parseNum(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || !std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+void appendNum(std::string& out, double v) {
+  char buf[32];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;
+  out.append(buf, p);
+}
+
+}  // namespace
+
+bool ArrivalSpec::parse(const std::string& spec, ArrivalSpec* out,
+                        std::string* err) {
+  auto fail = [err](const std::string& m) {
+    if (err != nullptr) *err = m;
+    return false;
+  };
+  ArrivalSpec s;
+  const size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  if (kind == "fixed") {
+    s.kind = ArrivalKind::kFixed;
+  } else if (kind == "poisson") {
+    s.kind = ArrivalKind::kPoisson;
+  } else if (kind == "burst") {
+    s.kind = ArrivalKind::kBurst;
+  } else if (kind == "diurnal") {
+    s.kind = ArrivalKind::kDiurnal;
+  } else {
+    return fail("unknown arrival kind: \"" + kind +
+                "\" (want fixed, poisson, burst, or diurnal)");
+  }
+  bool have_rate = false;
+  if (colon != std::string::npos) {
+    size_t pos = colon + 1;
+    while (pos <= spec.size()) {
+      const size_t comma = spec.find(',', pos);
+      const std::string kv =
+          spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+      pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+      if (kv.empty()) return fail("empty key=value pair in arrival spec");
+      const size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        return fail("expected key=value, got \"" + kv + "\"");
+      }
+      const std::string key = kv.substr(0, eq);
+      double v = 0;
+      if (!parseNum(kv.substr(eq + 1), &v)) {
+        return fail("invalid number for " + key + ": \"" + kv.substr(eq + 1) +
+                    "\"");
+      }
+      if (key == "rate") {
+        s.rate = v;
+        have_rate = true;
+      } else if (key == "on_ms" && s.kind == ArrivalKind::kBurst) {
+        s.on_ms = v;
+      } else if (key == "off_ms" && s.kind == ArrivalKind::kBurst) {
+        s.off_ms = v;
+      } else if (key == "mult" && s.kind == ArrivalKind::kBurst) {
+        s.mult = v;
+      } else if (key == "period_ms" && s.kind == ArrivalKind::kDiurnal) {
+        s.period_ms = v;
+      } else if (key == "amp" && s.kind == ArrivalKind::kDiurnal) {
+        s.amp = v;
+      } else {
+        return fail("unknown key for " + kind + " arrival: \"" + key + "\"");
+      }
+    }
+  }
+  if (!have_rate || s.rate <= 0) {
+    return fail("arrival spec needs rate=<requests per simulated ms> > 0");
+  }
+  if (s.kind == ArrivalKind::kBurst) {
+    if (s.on_ms <= 0 || s.off_ms <= 0) {
+      return fail("burst arrival needs on_ms > 0 and off_ms > 0");
+    }
+    if (s.mult < 1) return fail("burst arrival needs mult >= 1");
+  }
+  if (s.kind == ArrivalKind::kDiurnal) {
+    if (s.period_ms <= 0) return fail("diurnal arrival needs period_ms > 0");
+    if (s.amp < 0 || s.amp >= 1) {
+      return fail("diurnal arrival needs amp in [0, 1)");
+    }
+  }
+  *out = s;
+  return true;
+}
+
+std::string ArrivalSpec::toSpecString() const {
+  std::string out = toString(kind);
+  out += ":rate=";
+  appendNum(out, rate);
+  if (kind == ArrivalKind::kBurst) {
+    out += ",on_ms=";
+    appendNum(out, on_ms);
+    out += ",off_ms=";
+    appendNum(out, off_ms);
+    out += ",mult=";
+    appendNum(out, mult);
+  } else if (kind == ArrivalKind::kDiurnal) {
+    out += ",period_ms=";
+    appendNum(out, period_ms);
+    out += ",amp=";
+    appendNum(out, amp);
+  }
+  return out;
+}
+
+double ArrivalProcess::expGap(double rate_per_ms) {
+  // Inverse-CDF exponential sample. uniform() < 1, so log1p stays finite.
+  return -std::log1p(-rng_.uniform()) / rate_per_ms;
+}
+
+double ArrivalProcess::diurnalRate(double t_ms) const {
+  // Triangle wave in [-1, 1]: rising through the first half period, falling
+  // through the second, starting at the trough.
+  const double p = spec_.period_ms;
+  const double x = (t_ms - std::floor(t_ms / p) * p) / p;  // [0, 1)
+  const double tri = x < 0.5 ? 4 * x - 1 : 3 - 4 * x;
+  return spec_.rate * (1.0 + spec_.amp * tri);
+}
+
+uint64_t ArrivalProcess::next() {
+  if (!spec_.enabled()) return kNever;
+  switch (spec_.kind) {
+    case ArrivalKind::kFixed:
+      t_ms_ += 1.0 / spec_.rate;
+      break;
+    case ArrivalKind::kPoisson:
+      t_ms_ += expGap(spec_.rate);
+      break;
+    case ArrivalKind::kBurst: {
+      // Piecewise-exponential gaps: draw at the phase's rate and, when the
+      // draw crosses the on/off boundary, restart from the boundary at the
+      // next phase's rate (exact for a piecewise-constant Poisson process —
+      // the exponential is memoryless).
+      double t = t_ms_;
+      const double period = spec_.on_ms + spec_.off_ms;
+      for (;;) {
+        const double ph = t - std::floor(t / period) * period;
+        const bool on = ph < spec_.on_ms;
+        const double boundary = t + ((on ? spec_.on_ms : period) - ph);
+        const double g = expGap(on ? spec_.rate * spec_.mult : spec_.rate);
+        if (t + g < boundary) {
+          t += g;
+          break;
+        }
+        t = boundary;
+      }
+      t_ms_ = t;
+      break;
+    }
+    case ArrivalKind::kDiurnal: {
+      // Thinning against the peak rate: candidate arrivals at rate*(1+amp),
+      // each accepted with probability rate(t)/peak.
+      const double peak = spec_.rate * (1.0 + spec_.amp);
+      double t = t_ms_;
+      for (;;) {
+        t += expGap(peak);
+        if (rng_.uniform() * peak < diurnalRate(t)) break;
+      }
+      t_ms_ = t;
+      break;
+    }
+  }
+  uint64_t c = static_cast<uint64_t>(t_ms_ * 1e6 * ghz_);
+  // Strictly increasing in cycles even when two ms-domain arrivals round to
+  // the same cycle (sub-cycle gaps at extreme rates).
+  if (c <= last_cycles_) c = last_cycles_ + 1;
+  last_cycles_ = c;
+  return c;
+}
+
+}  // namespace natle::traffic

@@ -1,0 +1,82 @@
+// Pluggable request-arrival processes for the traffic engine.
+//
+// An ArrivalSpec is parsed from a compact CLI string (mirroring the fault
+// grammar) and expanded lazily by an ArrivalProcess into a strictly
+// increasing sequence of arrival times in simulated cycles. All randomness
+// comes from a dedicated sim::streamSeed domain (kStreamArrival), entirely
+// independent of workload streams: the offered trace for a given (spec,
+// seed) is identical whatever lock implementation serves it and whatever
+// --jobs value runs the sweep.
+//
+// Rates are in requests per simulated millisecond (i.e. thousands of
+// requests per simulated second).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.hpp"
+
+namespace natle::traffic {
+
+enum class ArrivalKind { kFixed, kPoisson, kBurst, kDiurnal };
+
+const char* toString(ArrivalKind k);
+
+// Parsed arrival specification. CLI grammar: `kind:k=v,k=v,...` —
+//
+//   fixed:rate=500                          constant inter-arrival gap
+//   poisson:rate=500                        exponential gaps, mean 1/rate
+//   burst:rate=500,on_ms=0.3,off_ms=0.7,mult=4
+//                                           Poisson at rate*mult during each
+//                                           on-window, rate otherwise
+//   diurnal:rate=500,period_ms=2,amp=0.8    Poisson whose rate ramps along a
+//                                           triangle wave rate*(1 +/- amp)
+//                                           with the given period
+//
+// Unknown kinds or keys are errors (reported via parse).
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate = 0;      // requests per simulated ms; 0 disables the process
+  double on_ms = 0.3;   // burst: window length at rate*mult
+  double off_ms = 0.7;  // burst: window length at the base rate
+  double mult = 4.0;    // burst: rate multiplier inside on-windows
+  double period_ms = 2.0;  // diurnal: triangle-wave period
+  double amp = 0.8;        // diurnal: relative amplitude, in [0, 1)
+
+  bool enabled() const { return rate > 0; }
+
+  static bool parse(const std::string& spec, ArrivalSpec* out,
+                    std::string* err);
+  // Canonical spec string; parse(toSpecString()) round-trips.
+  std::string toSpecString() const;
+};
+
+// Lazily generates the arrival sequence of one request class. next() is
+// strictly increasing; kNever marks a disabled process.
+class ArrivalProcess {
+ public:
+  static constexpr uint64_t kNever = ~uint64_t{0};
+
+  // `ghz` converts generated times (ms) to cycles; `seed` should come from
+  // sim::streamSeed(base_seed, sim::kStreamArrival, class_index).
+  ArrivalProcess(const ArrivalSpec& spec, double ghz, uint64_t seed)
+      : spec_(spec), ghz_(ghz), rng_(seed) {}
+
+  // Next arrival time in simulated cycles.
+  uint64_t next();
+
+ private:
+  // Exponential gap with the given rate (per ms), from one uniform draw.
+  double expGap(double rate_per_ms);
+  // Instantaneous diurnal rate at time t (ms).
+  double diurnalRate(double t_ms) const;
+
+  ArrivalSpec spec_;
+  double ghz_;
+  double t_ms_ = 0;  // time of the previously generated arrival
+  uint64_t last_cycles_ = 0;
+  sim::Rng rng_;
+};
+
+}  // namespace natle::traffic

@@ -1,0 +1,43 @@
+#include "traffic/latency.hpp"
+
+#include <algorithm>
+
+namespace natle::traffic {
+
+void LatencyAccum::sort() const {
+  if (sorted_) return;
+  std::sort(samples_.begin(), samples_.end());
+  sorted_ = true;
+}
+
+uint64_t LatencyAccum::quantileCycles(uint64_t permille) const {
+  if (samples_.empty()) return 0;
+  sort();
+  const uint64_t n = samples_.size();
+  uint64_t rank = (permille * n + 999) / 1000;  // ceil, integer-exact
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  return samples_[rank - 1];
+}
+
+LatencySummary LatencyAccum::summary(double slo_us) const {
+  LatencySummary s;
+  s.count = count();
+  if (s.count == 0) return s;
+  sort();
+  s.mean_us = static_cast<double>(sum_cycles_) /
+              static_cast<double>(s.count) / (ghz_ * 1e3);
+  s.p50_us = toUs(quantileCycles(500));
+  s.p95_us = toUs(quantileCycles(950));
+  s.p99_us = toUs(quantileCycles(990));
+  s.p999_us = toUs(quantileCycles(999));
+  s.max_us = toUs(samples_.back());
+  if (slo_us > 0) {
+    for (uint64_t c : samples_) {
+      if (toUs(c) > slo_us) s.slo_violations++;
+    }
+  }
+  return s;
+}
+
+}  // namespace natle::traffic

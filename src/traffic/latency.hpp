@@ -1,0 +1,61 @@
+// Per-request latency accounting: exact quantiles, SLO violation counts,
+// and a time-bucketed series for spotting mid-run tail blowups.
+//
+// Samples are retained raw (cycles) and quantiles computed by nearest-rank
+// over the sorted sample set — exact, deterministic, and mergeable by
+// concatenation. Quantiles are requested in permille so the rank computation
+// is pure integer math (ceil(p/1000 * N) as (p*N + 999) / 1000): no
+// floating-point boundary surprises at e.g. p999 of exactly 1000 samples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace natle::traffic {
+
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double max_us = 0;
+  uint64_t slo_violations = 0;  // samples strictly above the SLO threshold
+};
+
+class LatencyAccum {
+ public:
+  // `ghz` converts sample cycles to microseconds for the summary.
+  explicit LatencyAccum(double ghz = 1.0) : ghz_(ghz) {}
+
+  void add(uint64_t latency_cycles) {
+    samples_.push_back(latency_cycles);
+    sum_cycles_ += latency_cycles;
+    sorted_ = false;
+  }
+
+  uint64_t count() const { return samples_.size(); }
+
+  // Nearest-rank quantile: the smallest sample with at least
+  // ceil(permille/1000 * N) samples <= it. 0 when empty; permille 1000 (or
+  // anything above) selects the maximum.
+  uint64_t quantileCycles(uint64_t permille) const;
+
+  double toUs(uint64_t cycles) const {
+    return static_cast<double>(cycles) / (ghz_ * 1e3);
+  }
+
+  // Full summary; slo_us <= 0 disables violation counting.
+  LatencySummary summary(double slo_us) const;
+
+ private:
+  void sort() const;
+
+  double ghz_;
+  mutable std::vector<uint64_t> samples_;
+  mutable bool sorted_ = true;
+  uint64_t sum_cycles_ = 0;
+};
+
+}  // namespace natle::traffic

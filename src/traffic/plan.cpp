@@ -1,0 +1,98 @@
+#include "traffic/plan.hpp"
+
+namespace natle::traffic {
+
+exp::PointData runServicePoint(const ServiceConfig& cfg) {
+  const ServiceResult r = runService(cfg);
+  exp::PointData p;
+  p.value = r.total_krps;
+  p.stats = r.stats;
+  p.has_stats = true;
+  // Per-class scalars ride in aux: unlike the raw service block, aux fully
+  // round-trips through the isolate-mode pipe, so emit() hooks can derive
+  // CSV rows from them even under --isolate.
+  for (const ClassMetrics& m : r.classes) {
+    p.aux.emplace_back(m.name + "_p50_us", m.latency.p50_us);
+    p.aux.emplace_back(m.name + "_p95_us", m.latency.p95_us);
+    p.aux.emplace_back(m.name + "_p99_us", m.latency.p99_us);
+    p.aux.emplace_back(m.name + "_p999_us", m.latency.p999_us);
+    p.aux.emplace_back(m.name + "_max_us", m.latency.max_us);
+    p.aux.emplace_back(m.name + "_slo_violations",
+                       static_cast<double>(m.slo_violations));
+    p.aux.emplace_back(m.name + "_krps", m.throughput_krps);
+    p.aux.emplace_back(m.name + "_offered",
+                       static_cast<double>(m.offered));
+  }
+  p.aux.emplace_back("backlog_end", static_cast<double>(r.backlog_end));
+  p.aux.emplace_back("peak_queue", static_cast<double>(r.peak_queue));
+  p.service_json = metricsJson(r);
+  if (r.has_attribution) {
+    p.attribution_json = r.attribution.toJson();
+    p.has_attribution = true;
+    p.attribution = r.attribution;
+  }
+  return p;
+}
+
+ServiceSweep::ServiceSweep(const workload::BenchOptions& opt)
+    : trace_(opt.trace),
+      watchdog_ms_(opt.watchdog_ms),
+      duration_ms_(opt.duration_ms),
+      slo_us_(opt.slo_us) {
+  if (!opt.fault_spec.empty()) {
+    // CLI entry points validate specs up front; a failure here (impossible
+    // via the CLIs) just leaves the override disabled.
+    fault::FaultSpec::parse(opt.fault_spec, &fault_, nullptr);
+  }
+  if (!opt.placement.empty()) {
+    mem::parsePlacePolicy(opt.placement, &placement_);
+  }
+  if (!opt.arrival_spec.empty()) {
+    have_arrival_ = ArrivalSpec::parse(opt.arrival_spec, &arrival_, nullptr);
+  }
+}
+
+void ServiceSweep::point(exp::Plan& plan, std::string series, double x,
+                         const ServiceConfig& cfg) {
+  ServiceConfig c = cfg;
+  c.trace = c.trace || trace_;
+  if (!c.fault.enabled() && fault_.enabled()) c.fault = fault_;
+  if (c.watchdog_ms <= 0 && watchdog_ms_ > 0) c.watchdog_ms = watchdog_ms_;
+  if (c.placement == mem::PlacePolicy::kFirstTouch) c.placement = placement_;
+  if (have_arrival_) {
+    for (ClassSpec& cs : c.classes) cs.arrival = arrival_;
+  }
+  if (duration_ms_ > 0) c.measure_ms = duration_ms_;
+  if (slo_us_ > 0) {
+    for (ClassSpec& cs : c.classes) cs.slo_us = slo_us_;
+  }
+  entries_.push_back({std::move(series), x, plan.jobs.size()});
+  exp::Job j;
+  j.series = entries_.back().series;
+  j.x = x;
+  j.trial = 0;
+  j.seed = c.seed;
+  j.config_json = toJson(c);
+  j.run = [c] { return runServicePoint(c); };
+  j.dump_trace = [c]() mutable {
+    c.trace = true;
+    c.trace_raw = true;
+    return runService(c).raw_trace;
+  };
+  // Failures under injected adversity or an armed watchdog are often
+  // seed-specific; allow the runner's capped retry-with-reseed. The salt
+  // shifts both the workload seed and the fault-stream seed, mirroring
+  // SetSweep.
+  j.transient = true;
+  j.run_reseeded = [c](int salt) {
+    ServiceConfig rc = c;
+    rc.seed = c.seed + 0x5bd1e995ULL * static_cast<uint64_t>(salt);
+    if (rc.fault.enabled()) {
+      rc.fault.seed += static_cast<uint64_t>(salt);
+    }
+    return runServicePoint(rc);
+  };
+  plan.jobs.push_back(std::move(j));
+}
+
+}  // namespace natle::traffic

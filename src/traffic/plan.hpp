@@ -1,0 +1,55 @@
+// Planning helpers for traffic-driven service sweeps.
+//
+// ServiceSweep mirrors exp::SetSweep for ServiceConfig points: it expands a
+// grid of service runs into self-contained jobs and maps the shared CLI
+// adversity/traffic flags onto every point. Latency quantiles are not
+// mergeable across runs (nearest-rank over distinct sample sets), so each
+// point is exactly one trial; experiments that want replication plan
+// separate points with distinct seeds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "traffic/service.hpp"
+
+namespace natle::traffic {
+
+// Runs one service simulation and packages it for the harness: value =
+// total completed krps, per-class scalars in aux (round-trip through
+// isolate mode), and the full metrics block in service_json.
+exp::PointData runServicePoint(const ServiceConfig& cfg);
+
+class ServiceSweep {
+ public:
+  explicit ServiceSweep(const workload::BenchOptions& opt);
+
+  // Queue one data point. CLI-level overrides (arrival spec, duration, SLO,
+  // trace/fault/watchdog/placement) are folded in here; a point's own
+  // explicit settings win over empty/zero CLI values.
+  void point(exp::Plan& plan, std::string series, double x,
+             const ServiceConfig& cfg);
+
+  struct Entry {
+    std::string series;
+    double x = 0;
+    size_t job = 0;  // index into the plan this sweep filled
+  };
+  const std::vector<Entry>& points() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+  bool trace_ = false;
+  fault::FaultSpec fault_;
+  double watchdog_ms_ = 0;
+  mem::PlacePolicy placement_ = mem::PlacePolicy::kFirstTouch;
+  // --arrival: parsed spec applied to every class of every point (empty =
+  // keep the experiment's arrivals). --duration-ms / --slo-us: 0 = keep.
+  bool have_arrival_ = false;
+  ArrivalSpec arrival_;
+  double duration_ms_ = 0;
+  double slo_us_ = 0;
+};
+
+}  // namespace natle::traffic

@@ -1,0 +1,559 @@
+#include "traffic/service.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <deque>
+#include <memory>
+
+#include "ds/avl.hpp"
+#include "ds/bst_internal.hpp"
+#include "ds/bst_leaf.hpp"
+#include "ds/skiplist.hpp"
+#include "htm/env.hpp"
+#include "obs/trace.hpp"
+
+namespace natle::traffic {
+
+const char* toString(ClientModel m) {
+  switch (m) {
+    case ClientModel::kOpen: return "open";
+    case ClientModel::kClosed: return "closed";
+  }
+  return "?";
+}
+
+const char* toString(RequestKind k) {
+  switch (k) {
+    case RequestKind::kPoint: return "point";
+    case RequestKind::kScan: return "scan";
+    case RequestKind::kBulk: return "bulk";
+  }
+  return "?";
+}
+
+namespace {
+
+// Type-erased set facade (mirrors the one in workload/setbench.cpp, which is
+// internal to that translation unit).
+struct AnySet {
+  virtual ~AnySet() = default;
+  virtual bool contains(htm::ThreadCtx& c, int64_t k) = 0;
+  virtual bool insert(htm::ThreadCtx& c, int64_t k) = 0;
+  virtual bool erase(htm::ThreadCtx& c, int64_t k) = 0;
+};
+
+template <typename S>
+struct SetOf : AnySet {
+  explicit SetOf(htm::Env& env) : s(env) {}
+  bool contains(htm::ThreadCtx& c, int64_t k) override {
+    return s.contains(c, k);
+  }
+  bool insert(htm::ThreadCtx& c, int64_t k) override { return s.insert(c, k); }
+  bool erase(htm::ThreadCtx& c, int64_t k) override { return s.erase(c, k); }
+  S s;
+};
+
+std::unique_ptr<AnySet> makeSet(workload::DsKind kind, htm::Env& env) {
+  switch (kind) {
+    case workload::DsKind::kAvl:
+      return std::make_unique<SetOf<ds::AvlTree>>(env);
+    case workload::DsKind::kLeafBst:
+      return std::make_unique<SetOf<ds::LeafBst>>(env);
+    case workload::DsKind::kInternalBst:
+      return std::make_unique<SetOf<ds::InternalBst>>(env);
+    case workload::DsKind::kSkipList:
+      return std::make_unique<SetOf<ds::SkipList>>(env);
+  }
+  return nullptr;
+}
+
+struct Request {
+  uint64_t arrival = 0;   // cycles
+  uint32_t cls = 0;       // index into cfg.classes
+  uint64_t key_seed = 0;  // per-request key material (drawn in arrival order)
+};
+
+// Open-loop traffic source: per-class lazy arrival generators merged into
+// one FIFO in global arrival order. Pure harness state — it lives outside
+// simulated time and occupies no simulated core. Key seeds are drawn in
+// arrival order from the per-class request stream, so the offered trace is
+// independent of which server fiber ends up taking each request.
+class OpenTraffic {
+ public:
+  static constexpr uint64_t kNever = ArrivalProcess::kNever;
+
+  OpenTraffic(const ServiceConfig& cfg, const sim::MachineConfig& mc,
+              uint64_t stats_start, uint64_t t_end)
+      : stats_start_(stats_start), t_end_(t_end) {
+    const size_t n = cfg.classes.size();
+    procs_.reserve(n);
+    key_rng_.reserve(n);
+    next_.assign(n, kNever);
+    offered_.assign(n, 0);
+    for (size_t ci = 0; ci < n; ++ci) {
+      procs_.emplace_back(cfg.classes[ci].arrival, mc.ghz,
+                          sim::streamSeed(mc.seed, sim::kStreamArrival, ci));
+      key_rng_.emplace_back(
+          sim::streamSeed(mc.seed, sim::kStreamRequest, ci));
+      advance(ci);
+    }
+  }
+
+  // Move every arrival <= now into the FIFO, lowest timestamp first (ties
+  // break toward the lower class index — a fixed, documented order).
+  void materialize(uint64_t now) {
+    for (;;) {
+      size_t best = SIZE_MAX;
+      uint64_t bt = kNever;
+      for (size_t i = 0; i < next_.size(); ++i) {
+        if (next_[i] < bt) {
+          bt = next_[i];
+          best = i;
+        }
+      }
+      if (best == SIZE_MAX || bt > now) break;
+      fifo_.push_back(Request{bt, static_cast<uint32_t>(best),
+                              key_rng_[best].next()});
+      if (bt >= stats_start_) offered_[best]++;
+      advance(best);
+    }
+    if (fifo_.size() > peak_queue_) peak_queue_ = fifo_.size();
+  }
+
+  bool empty() const { return fifo_.empty(); }
+
+  Request pop() {
+    Request r = fifo_.front();
+    fifo_.pop_front();
+    return r;
+  }
+
+  // Earliest not-yet-materialized arrival; kNever once every generator has
+  // run past the end of the run.
+  uint64_t nextArrival() const {
+    uint64_t bt = kNever;
+    for (uint64_t t : next_) bt = t < bt ? t : bt;
+    return bt;
+  }
+
+  // Post-run: walk the remaining generator output so offered() covers the
+  // whole measurement window even when the service fell far behind.
+  void drainOffered() {
+    for (size_t i = 0; i < next_.size(); ++i) {
+      while (next_[i] != kNever) {
+        if (next_[i] >= stats_start_) offered_[i]++;
+        advance(i);
+      }
+    }
+  }
+
+  uint64_t offered(size_t ci) const { return offered_[ci]; }
+  uint64_t peakQueue() const { return peak_queue_; }
+
+ private:
+  void advance(size_t ci) {
+    const uint64_t a = procs_[ci].next();
+    next_[ci] = a >= t_end_ ? kNever : a;
+  }
+
+  uint64_t stats_start_;
+  uint64_t t_end_;
+  std::vector<ArrivalProcess> procs_;
+  std::vector<sim::Rng> key_rng_;
+  std::vector<uint64_t> next_;     // per class; kNever = exhausted
+  std::vector<uint64_t> offered_;  // arrivals with timestamp in the window
+  std::deque<Request> fifo_;
+  uint64_t peak_queue_ = 0;
+};
+
+// Latency accumulation for one class: overall plus per-time-bucket (by
+// arrival time within the measurement window).
+struct ClassRecorder {
+  ClassRecorder(double ghz, uint64_t stats_start, uint64_t t_end, int nb)
+      : total(ghz), stats_start_(stats_start), t_end_(t_end) {
+    buckets.assign(static_cast<size_t>(nb < 1 ? 1 : nb), LatencyAccum(ghz));
+  }
+
+  void record(uint64_t arrival, uint64_t done) {
+    const uint64_t lat = done - arrival;
+    total.add(lat);
+    const uint64_t span = t_end_ - stats_start_;
+    size_t b = span > 0 ? static_cast<size_t>((arrival - stats_start_) *
+                                              buckets.size() / span)
+                        : 0;
+    if (b >= buckets.size()) b = buckets.size() - 1;
+    buckets[b].add(lat);
+  }
+
+  LatencyAccum total;
+  std::vector<LatencyAccum> buckets;
+
+ private:
+  uint64_t stats_start_;
+  uint64_t t_end_;
+};
+
+}  // namespace
+
+ServiceResult runService(const ServiceConfig& cfg) {
+  ServiceResult out;
+  out.model = cfg.model;
+  out.classes.resize(cfg.classes.size());
+
+  sim::MachineConfig mc = cfg.machine;
+  mc.seed = cfg.seed;
+  htm::Env env(mc, true, cfg.placement);
+  auto set = makeSet(cfg.ds, env);
+
+  // Prefill to half the key range in random order — identical derivation to
+  // runSetBench, so the service and the microbench see the same structure.
+  {
+    auto& sc = env.setupCtx();
+    sim::Rng pre(mc.seed ^ 0xabcdef);
+    std::vector<int64_t> keys(cfg.key_range);
+    for (int64_t k = 0; k < cfg.key_range; ++k) keys[k] = k;
+    for (size_t i = keys.size(); i > 1; --i) {
+      std::swap(keys[i - 1], keys[pre.below(i)]);
+    }
+    for (size_t i = 0; i < keys.size() / 2; ++i) set->insert(sc, keys[i]);
+  }
+
+  // unique_ptr + declared after env: a tripped watchdog throws out of
+  // env.run() and the locks must still unregister their diagnostics.
+  std::unique_ptr<sync::TleLock> tle;
+  std::unique_ptr<sync::NatleLock> natle;
+  if (cfg.sync == workload::SyncKind::kTle) {
+    tle = std::make_unique<sync::TleLock>(env, cfg.tle);
+  } else if (cfg.sync == workload::SyncKind::kNatle) {
+    natle = std::make_unique<sync::NatleLock>(env, cfg.tle, cfg.natle);
+    natle->setActiveRows(cfg.nthreads < 128 ? 128 : cfg.nthreads);
+  }
+
+  const uint64_t stats_start = mc.msToCycles(cfg.warmup_ms);
+  const uint64_t t_end = mc.msToCycles(cfg.warmup_ms + cfg.measure_ms);
+  env.setStatsStart(stats_start);
+
+  if (cfg.fault.enabled()) env.installFaults(cfg.fault);
+  if (cfg.watchdog_ms > 0) env.enableWatchdog(mc.msToCycles(cfg.watchdog_ms));
+  if (cfg.cycle_limit_ms > 0) {
+    env.setCycleLimit(mc.msToCycles(cfg.cycle_limit_ms));
+  }
+
+  std::unique_ptr<obs::Tracer> tracer;
+  if (cfg.trace) {
+    tracer = std::make_unique<obs::Tracer>(cfg.trace_raw);
+    std::vector<uint8_t> hops(static_cast<size_t>(mc.sockets) * mc.sockets);
+    for (int a = 0; a < mc.sockets; ++a) {
+      for (int b = 0; b < mc.sockets; ++b) {
+        hops[static_cast<size_t>(a) * mc.sockets + b] =
+            static_cast<uint8_t>(a == b ? 0 : mc.hops(a, b));
+      }
+    }
+    tracer->setTopology(mc.sockets, std::move(hops));
+    std::vector<std::string> names;
+    for (const ClassSpec& c : cfg.classes) names.push_back(c.name);
+    tracer->setClassNames(std::move(names));
+    env.setTracer(tracer.get());
+  }
+
+  std::vector<ClassRecorder> rec;
+  rec.reserve(cfg.classes.size());
+  for (size_t ci = 0; ci < cfg.classes.size(); ++ci) {
+    rec.emplace_back(mc.ghz, stats_start, t_end, cfg.latency_buckets);
+  }
+
+  auto exec = [&](htm::ThreadCtx& ctx, auto&& op) {
+    if (cfg.sync == workload::SyncKind::kNone) {
+      op();
+    } else if (tle) {
+      tle->execute(ctx, op);
+    } else {
+      natle->execute(ctx, op);
+    }
+  };
+
+  // One request = one critical section. All random key material is drawn
+  // before the section starts, so an aborted-and-retried section replays
+  // identical work.
+  auto serve = [&](htm::ThreadCtx& ctx, uint32_t ci, uint64_t key_seed) {
+    const ClassSpec& cs = cfg.classes[ci];
+    sim::Rng r(key_seed);
+    const uint64_t kr = static_cast<uint64_t>(cfg.key_range);
+    switch (cs.kind) {
+      case RequestKind::kPoint: {
+        const int64_t key = static_cast<int64_t>(r.below(kr));
+        const bool is_update = r.below(100) < static_cast<uint64_t>(cs.update_pct);
+        const bool is_insert = (r.next() & 1) != 0;
+        exec(ctx, [&] {
+          if (!is_update) {
+            set->contains(ctx, key);
+          } else if (is_insert) {
+            set->insert(ctx, key);
+          } else {
+            set->erase(ctx, key);
+          }
+        });
+        break;
+      }
+      case RequestKind::kScan: {
+        const int64_t lo = static_cast<int64_t>(r.below(kr));
+        exec(ctx, [&] {
+          for (int i = 0; i < cs.scan_len; ++i) {
+            set->contains(ctx, (lo + i) % cfg.key_range);
+          }
+        });
+        break;
+      }
+      case RequestKind::kBulk: {
+        std::vector<int64_t> keys(static_cast<size_t>(cs.bulk_n));
+        const uint64_t ins_bits = r.next();
+        for (auto& k : keys) k = static_cast<int64_t>(r.below(kr));
+        exec(ctx, [&] {
+          for (size_t i = 0; i < keys.size(); ++i) {
+            if ((ins_bits >> (i & 63)) & 1) {
+              set->insert(ctx, keys[i]);
+            } else {
+              set->erase(ctx, keys[i]);
+            }
+          }
+        });
+        break;
+      }
+    }
+  };
+
+  OpenTraffic q(cfg, mc, stats_start, t_end);
+  std::vector<uint64_t> closed_offered(cfg.classes.size(), 0);
+
+  if (cfg.model == ClientModel::kOpen) {
+    for (int i = 0; i < cfg.nthreads; ++i) {
+      const sim::HwSlot slot = sim::placeThread(mc, cfg.pin, i);
+      const bool pinned = cfg.pin != sim::PinPolicy::kUnpinned;
+      env.spawnWorker(
+          [&, t_end, stats_start](htm::ThreadCtx& ctx) {
+            for (;;) {
+              const uint64_t now = ctx.nowCycles();
+              if (now >= t_end) break;
+              q.materialize(now);
+              if (q.empty()) {
+                const uint64_t na = q.nextArrival();
+                if (na == OpenTraffic::kNever) break;
+                // Idle until the next arrival: raw cycles (an idle server
+                // executes no instructions, so no hyperthread work penalty),
+                // and note progress so a deliberately quiet arrival process
+                // cannot trip the livelock watchdog.
+                env.machine().charge(ctx.simThread(), na - now);
+                env.noteProgress(ctx.simThread().clock);
+                env.machine().maybeYield(ctx.simThread());
+                continue;
+              }
+              const Request r = q.pop();
+              ctx.opBoundary();
+              ctx.setClassTag(static_cast<int8_t>(r.cls));
+              serve(ctx, r.cls, r.key_seed);
+              ctx.work(cfg.op_overhead_cycles);
+              const uint64_t done = ctx.nowCycles();
+              if (r.arrival >= stats_start) {
+                ctx.stats().ops++;
+                rec[r.cls].record(r.arrival, done);
+              }
+            }
+          },
+          slot, pinned);
+    }
+  } else {
+    // Closed loop: partition client fibers across classes by their
+    // `clients` weights (round-robin over the expanded weight pattern).
+    std::vector<uint32_t> pattern;
+    for (size_t ci = 0; ci < cfg.classes.size(); ++ci) {
+      for (int k = 0; k < cfg.classes[ci].clients; ++k) {
+        pattern.push_back(static_cast<uint32_t>(ci));
+      }
+    }
+    if (pattern.empty()) pattern.push_back(0);
+    for (int i = 0; i < cfg.nthreads; ++i) {
+      const sim::HwSlot slot = sim::placeThread(mc, cfg.pin, i);
+      const bool pinned = cfg.pin != sim::PinPolicy::kUnpinned;
+      const uint32_t ci = pattern[static_cast<size_t>(i) % pattern.size()];
+      const uint64_t think_seed =
+          sim::streamSeed(mc.seed, sim::kStreamThink,
+                          static_cast<uint64_t>(i));
+      const uint64_t req_seed =
+          sim::streamSeed(mc.seed, sim::kStreamRequest,
+                          static_cast<uint64_t>(i));
+      env.spawnWorker(
+          [&, ci, think_seed, req_seed, t_end, stats_start](
+              htm::ThreadCtx& ctx) {
+            sim::Rng think(think_seed);
+            sim::Rng req(req_seed);
+            ctx.setClassTag(static_cast<int8_t>(ci));
+            const ClassSpec& cs = cfg.classes[ci];
+            for (;;) {
+              // Exponential think time, charged as raw cycles: a thinking
+              // client holds its hardware thread but executes nothing.
+              const double gap_ms =
+                  -std::log1p(-think.uniform()) * cs.think_ms;
+              env.machine().charge(
+                  ctx.simThread(),
+                  static_cast<uint64_t>(gap_ms * 1e6 * mc.ghz));
+              env.machine().maybeYield(ctx.simThread());
+              const uint64_t start = ctx.nowCycles();
+              if (start >= t_end) break;
+              ctx.opBoundary();
+              serve(ctx, ci, req.next());
+              ctx.work(cfg.op_overhead_cycles);
+              const uint64_t done = ctx.nowCycles();
+              if (start >= stats_start) {
+                ctx.stats().ops++;
+                rec[ci].record(start, done);
+                closed_offered[ci]++;
+              }
+            }
+          },
+          slot, pinned);
+    }
+  }
+
+  env.run();
+
+  out.stats = env.totals();
+  const uint64_t aborts = out.stats.totalAborts();
+  out.abort_rate = out.stats.tx_begins > 0
+                       ? static_cast<double>(aborts) /
+                             static_cast<double>(out.stats.tx_begins)
+                       : 0;
+  if (tracer != nullptr) {
+    out.has_attribution = true;
+    out.attribution = tracer->attribution();
+    if (cfg.trace_raw) out.raw_trace = tracer->dumpJsonl();
+  }
+
+  out.peak_queue = cfg.model == ClientModel::kOpen ? q.peakQueue() : 0;
+  if (cfg.model == ClientModel::kOpen) q.drainOffered();
+  for (size_t ci = 0; ci < cfg.classes.size(); ++ci) {
+    const ClassSpec& cs = cfg.classes[ci];
+    ClassMetrics& m = out.classes[ci];
+    m.name = cs.name;
+    m.kind = cs.kind;
+    m.slo_us = cs.slo_us;
+    m.completed = rec[ci].total.count();
+    m.offered =
+        cfg.model == ClientModel::kOpen ? q.offered(ci) : closed_offered[ci];
+    m.latency = rec[ci].total.summary(cs.slo_us);
+    m.slo_violations = m.latency.slo_violations;
+    if (m.offered > m.completed) m.slo_violations += m.offered - m.completed;
+    m.throughput_krps =
+        cfg.measure_ms > 0 ? static_cast<double>(m.completed) / cfg.measure_ms
+                           : 0;
+    out.total_krps += m.throughput_krps;
+    if (cfg.model == ClientModel::kOpen && m.offered > m.completed) {
+      out.backlog_end += m.offered - m.completed;
+    }
+    const size_t nb = rec[ci].buckets.size();
+    for (size_t b = 0; b < nb; ++b) {
+      const LatencyAccum& acc = rec[ci].buckets[b];
+      const double start_ms =
+          cfg.warmup_ms + static_cast<double>(b) * cfg.measure_ms /
+                              static_cast<double>(nb);
+      m.series.push_back({start_ms, static_cast<double>(acc.count()),
+                          acc.toUs(acc.quantileCycles(990))});
+    }
+  }
+  return out;
+}
+
+void appendJson(workload::JsonWriter& w, const ServiceConfig& c) {
+  w.beginObject();
+  w.key("machine");
+  workload::appendJson(w, c.machine);
+  w.key("model").value(toString(c.model));
+  w.key("nthreads").value(c.nthreads);
+  w.key("key_range").value(c.key_range);
+  w.key("ds").value(workload::toString(c.ds));
+  w.key("sync").value(workload::toString(c.sync));
+  w.key("tle");
+  workload::appendJson(w, c.tle);
+  if (c.sync == workload::SyncKind::kNatle) {
+    w.key("natle");
+    workload::appendJson(w, c.natle);
+  }
+  w.key("pin").value(sim::toString(c.pin));
+  w.key("warmup_ms").value(c.warmup_ms);
+  w.key("measure_ms").value(c.measure_ms);
+  w.key("latency_buckets").value(c.latency_buckets);
+  w.key("op_overhead_cycles").value(c.op_overhead_cycles);
+  w.key("seed").value(c.seed);
+  w.key("classes");
+  w.beginArray();
+  for (const ClassSpec& cs : c.classes) {
+    w.beginObject();
+    w.key("name").value(cs.name);
+    w.key("kind").value(toString(cs.kind));
+    w.key("arrival").value(cs.arrival.toSpecString());
+    w.key("clients").value(cs.clients);
+    w.key("think_ms").value(cs.think_ms);
+    w.key("update_pct").value(cs.update_pct);
+    w.key("scan_len").value(cs.scan_len);
+    w.key("bulk_n").value(cs.bulk_n);
+    w.key("slo_us").value(cs.slo_us);
+    w.endObject();
+  }
+  w.endArray();
+  // Adversity keys only when active, matching SetBenchConfig's convention.
+  if (c.watchdog_ms > 0) w.key("watchdog_ms").value(c.watchdog_ms);
+  if (c.cycle_limit_ms > 0) w.key("cycle_limit_ms").value(c.cycle_limit_ms);
+  if (c.fault.enabled()) w.key("fault").value(c.fault.toSpecString());
+  if (c.placement != mem::PlacePolicy::kFirstTouch) {
+    w.key("placement").value(mem::toString(c.placement));
+  }
+  w.endObject();
+}
+
+std::string toJson(const ServiceConfig& c) {
+  workload::JsonWriter w;
+  appendJson(w, c);
+  return w.take();
+}
+
+std::string metricsJson(const ServiceResult& r) {
+  workload::JsonWriter w;
+  w.beginObject();
+  w.key("model").value(toString(r.model));
+  w.key("backlog_end").value(r.backlog_end);
+  w.key("peak_queue").value(r.peak_queue);
+  w.key("total_krps").value(r.total_krps);
+  w.key("classes");
+  w.beginArray();
+  for (const ClassMetrics& m : r.classes) {
+    w.beginObject();
+    w.key("name").value(m.name);
+    w.key("kind").value(toString(m.kind));
+    w.key("slo_us").value(m.slo_us);
+    w.key("offered").value(m.offered);
+    w.key("completed").value(m.completed);
+    w.key("slo_violations").value(m.slo_violations);
+    w.key("throughput_krps").value(m.throughput_krps);
+    w.key("latency_us");
+    w.beginObject();
+    w.key("count").value(m.latency.count);
+    w.key("mean").value(m.latency.mean_us);
+    w.key("p50").value(m.latency.p50_us);
+    w.key("p95").value(m.latency.p95_us);
+    w.key("p99").value(m.latency.p99_us);
+    w.key("p999").value(m.latency.p999_us);
+    w.key("max").value(m.latency.max_us);
+    w.endObject();
+    w.key("series");
+    w.beginArray();
+    for (const auto& row : m.series) {
+      w.beginArray().value(row[0]).value(row[1]).value(row[2]).endArray();
+    }
+    w.endArray();
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  return w.take();
+}
+
+}  // namespace natle::traffic

@@ -1,0 +1,140 @@
+// Traffic-driven service benchmark: request traffic (open- or closed-loop)
+// against one shared set structure protected by an elided lock, with
+// per-request arrival-to-completion latency in simulated cycles.
+//
+// Open loop: requests arrive on deterministic arrival processes (one per
+// request class) into a global FIFO; cfg.nthreads server fibers drain it.
+// When the service cannot keep up the queue grows without bound — queueing
+// delay is part of each request's latency, which is exactly the tail-latency
+// story fixed-ops microbenchmarks cannot tell. There are no dispatcher
+// fibers: arrivals materialize from lazy generators at pop time, so client
+// machinery occupies no simulated cores and perturbs no hyperthread
+// occupancy.
+//
+// Closed loop: cfg.nthreads client fibers each run think -> request -> think
+// with exponential think times; offered load adapts to service speed (no
+// backlog by construction).
+//
+// Determinism: arrivals, per-request key material, and think times all come
+// from dedicated sim::streamSeed domains (kStreamArrival / kStreamRequest /
+// kStreamThink), so the offered trace is byte-identical across sync kinds,
+// --jobs values, and runs; the serving order is the deterministic fiber
+// schedule.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "htm/stats.hpp"
+#include "mem/alloc.hpp"
+#include "obs/attribution.hpp"
+#include "sim/config.hpp"
+#include "sim/topology.hpp"
+#include "sync/natle.hpp"
+#include "sync/tle.hpp"
+#include "traffic/arrival.hpp"
+#include "traffic/latency.hpp"
+#include "workload/json.hpp"
+#include "workload/setbench.hpp"
+
+namespace natle::traffic {
+
+enum class ClientModel { kOpen, kClosed };
+enum class RequestKind { kPoint, kScan, kBulk };
+
+const char* toString(ClientModel m);
+const char* toString(RequestKind k);
+
+// One tenant / request class. All classes hit the same shared structure;
+// the kind decides what one request does inside one critical section:
+//   point  one contains/insert/erase (update_pct mix, insert/erase split)
+//   scan   scan_len consecutive contains calls (large read set)
+//   bulk   bulk_n random inserts/erases (large write set; the fallback
+//          serialization such requests force on everyone else is the Brown &
+//          Ravi concurrent-fallback cost, measured here as tail latency)
+struct ClassSpec {
+  std::string name = "point";
+  RequestKind kind = RequestKind::kPoint;
+  ArrivalSpec arrival;     // open loop; rate = 0 makes the class silent
+  int clients = 1;         // closed loop: relative share of client threads
+  double think_ms = 0.02;  // closed loop: mean exponential think time
+  int update_pct = 100;    // point: update fraction (rest lookups)
+  int scan_len = 64;       // scan: consecutive keys per request
+  int bulk_n = 24;         // bulk: inserts/erases per request
+  double slo_us = 100;     // per-class latency SLO threshold
+};
+
+struct ServiceConfig {
+  sim::MachineConfig machine = sim::LargeMachine();
+  ClientModel model = ClientModel::kOpen;
+  // Server fibers (open loop) or client fibers (closed loop).
+  int nthreads = 18;
+  int64_t key_range = 65536;
+  workload::DsKind ds = workload::DsKind::kAvl;
+  workload::SyncKind sync = workload::SyncKind::kTle;
+  sync::TlePolicy tle;
+  sync::NatleConfig natle;
+  sim::PinPolicy pin = sim::PinPolicy::kFillSocketFirst;
+  double warmup_ms = 0.5;   // simulated; requests arriving here are unsampled
+  double measure_ms = 2.0;  // simulated measurement window
+  // Time buckets the measurement window splits into for the latency series.
+  int latency_buckets = 16;
+  uint64_t op_overhead_cycles = 140;
+  uint64_t seed = 1;
+  std::vector<ClassSpec> classes;
+  // Adversity knobs, serialized only when active (see SetBenchConfig).
+  fault::FaultSpec fault;
+  double watchdog_ms = 0;
+  double cycle_limit_ms = 0;
+  mem::PlacePolicy placement = mem::PlacePolicy::kFirstTouch;
+  bool trace = false;
+  bool trace_raw = false;
+};
+
+struct ClassMetrics {
+  std::string name;
+  RequestKind kind = RequestKind::kPoint;
+  double slo_us = 0;
+  // Arrivals with arrival time inside the measurement window.
+  uint64_t offered = 0;
+  // Of those, requests that completed (possibly after the window's end —
+  // in-flight work is allowed to finish and is sampled). offered - completed
+  // is this class's contribution to the end-of-run backlog.
+  uint64_t completed = 0;
+  double throughput_krps = 0;  // completed per simulated ms
+  // SLO violations this class suffered: completed requests over slo_us PLUS
+  // in-window arrivals never served at all (an overloaded service that stops
+  // completing requests must not look SLO-clean because the victims are
+  // stuck in the backlog instead of in the latency histogram).
+  uint64_t slo_violations = 0;
+  LatencySummary latency;      // arrival -> completion, sampled requests only
+  // One row per time bucket (by arrival time within the window):
+  // [bucket_start_ms, completed_count, p99_us].
+  std::vector<std::array<double, 3>> series;
+};
+
+struct ServiceResult {
+  ClientModel model = ClientModel::kOpen;
+  std::vector<ClassMetrics> classes;  // parallel to cfg.classes
+  uint64_t backlog_end = 0;  // open loop: in-window arrivals never served
+  uint64_t peak_queue = 0;   // open loop: max materialized FIFO length
+  double total_krps = 0;     // sum of class throughputs
+  htm::TxStats stats;
+  double abort_rate = 0;  // aborts / tx begins
+  bool has_attribution = false;  // cfg.trace
+  obs::Attribution attribution;
+  std::string raw_trace;  // cfg.trace_raw: JSONL event stream
+};
+
+ServiceResult runService(const ServiceConfig& cfg);
+
+// Deterministic JSON: config (embedded in experiment records) and the
+// per-class metrics block (the record's "service" key).
+void appendJson(workload::JsonWriter& w, const ServiceConfig& c);
+std::string toJson(const ServiceConfig& c);
+std::string metricsJson(const ServiceResult& r);
+
+}  // namespace natle::traffic

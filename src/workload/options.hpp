@@ -30,6 +30,15 @@ struct BenchOptions {
   // = leave each point's policy alone. Validated where mem/alloc is linked
   // (CLI entry points).
   std::string placement;
+  // Traffic experiments only (service_*): arrival-process spec string (see
+  // traffic::ArrivalSpec::parse, e.g. 'poisson:rate=300') applied to every
+  // request class; empty = keep each experiment's built-in arrivals.
+  // Validated where traffic/arrival is linked (CLI entry points).
+  std::string arrival_spec;
+  // Traffic experiments only: override the simulated measurement window
+  // (ms) and the per-class SLO threshold (us); 0 keeps experiment defaults.
+  double duration_ms = 0;
+  double slo_us = 0;
 
   // Validated NATLE_SIM_SCALE parsing: the whole string must be a finite
   // number > 0 (atof's silent 0.0-on-garbage caused misconfigured runs to
@@ -70,6 +79,31 @@ struct BenchOptions {
         if (!parseScale(v, &o.watchdog_ms)) {
           if (err != nullptr) {
             *err = std::string("invalid --watchdog-ms value: \"") + v +
+                   "\" (want a finite number > 0)";
+          }
+          return false;
+        }
+      } else if (std::strncmp(argv[i], "--arrival=", 10) == 0) {
+        o.arrival_spec = argv[i] + 10;
+      } else if (std::strcmp(argv[i], "--arrival") == 0 && i + 1 < argc) {
+        o.arrival_spec = argv[++i];
+      } else if (std::strncmp(argv[i], "--duration-ms=", 14) == 0 ||
+                 (std::strcmp(argv[i], "--duration-ms") == 0 &&
+                  i + 1 < argc)) {
+        const char* v = argv[i][13] == '=' ? argv[i] + 14 : argv[++i];
+        if (!parseScale(v, &o.duration_ms)) {
+          if (err != nullptr) {
+            *err = std::string("invalid --duration-ms value: \"") + v +
+                   "\" (want a finite number > 0)";
+          }
+          return false;
+        }
+      } else if (std::strncmp(argv[i], "--slo-us=", 9) == 0 ||
+                 (std::strcmp(argv[i], "--slo-us") == 0 && i + 1 < argc)) {
+        const char* v = argv[i][8] == '=' ? argv[i] + 9 : argv[++i];
+        if (!parseScale(v, &o.slo_us)) {
+          if (err != nullptr) {
+            *err = std::string("invalid --slo-us value: \"") + v +
                    "\" (want a finite number > 0)";
           }
           return false;
@@ -117,6 +151,13 @@ struct BenchOptions {
                  "  --watchdog-ms N  arm the livelock watchdog: fail a point "
                  "that makes no\n"
                  "                   progress for N simulated ms\n"
+                 "traffic experiments (service_*):\n"
+                 "  --arrival SPEC   arrival process for every request class "
+                 "(e.g.\n"
+                 "                   'poisson:rate=300', 'burst:rate=200,"
+                 "on_ms=0.3,off_ms=0.7,mult=4')\n"
+                 "  --duration-ms N  simulated measurement window in ms\n"
+                 "  --slo-us N       per-class latency SLO threshold in us\n"
                  "environment:\n"
                  "  NATLE_SIM_SCALE=<float>  scale simulated trial length "
                  "(default 1.0)\n",

@@ -312,6 +312,27 @@ TEST(Directory, ForEachIteratesInAscendingLineOrder) {
   EXPECT_EQ(walked, (std::vector<uint64_t>{1, 3, 77, 512, 900, 4096}));
 }
 
+TEST(Directory, ForEachVisitsEveryLineExactlyOnce) {
+  // The forEach contract diagnostics rely on: ascending order AND one visit
+  // per line, for any insertion history (including re-lookups, which must
+  // not duplicate entries).
+  Directory d;
+  std::vector<uint64_t> lines;
+  uint64_t x = 12345;
+  for (int i = 0; i < 1000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;  // LCG scramble
+    lines.push_back(x >> 16);
+  }
+  for (uint64_t line : lines) d.lookup(line, 0);
+  for (uint64_t line : lines) d.lookup(line, 1);  // re-lookup: no duplicates
+  std::vector<uint64_t> walked;
+  d.forEach([&](uint64_t line, LineState&) { walked.push_back(line); });
+  std::vector<uint64_t> want = lines;
+  std::sort(want.begin(), want.end());
+  want.erase(std::unique(want.begin(), want.end()), want.end());
+  EXPECT_EQ(walked, want);
+}
+
 // --- interconnect ---------------------------------------------------------
 
 TEST(Interconnect, OneHopCollapsesToBaseCosts) {

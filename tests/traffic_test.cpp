@@ -1,0 +1,337 @@
+// Tests for the traffic subsystem: exact nearest-rank quantile math, arrival
+// spec parsing and process determinism, the service engine's accounting
+// invariants under both client models, and the harness-level contract that a
+// traffic experiment's output is byte-identical for any --jobs value.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "exp/exp.hpp"
+#include "traffic/arrival.hpp"
+#include "traffic/latency.hpp"
+#include "traffic/plan.hpp"
+#include "traffic/service.hpp"
+
+using namespace natle;
+using namespace natle::traffic;
+
+// --- quantile math --------------------------------------------------------
+
+TEST(Latency, EmptyAccumIsAllZero) {
+  LatencyAccum a(1.0);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.quantileCycles(500), 0u);
+  const LatencySummary s = a.summary(10);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean_us, 0);
+  EXPECT_EQ(s.p999_us, 0);
+  EXPECT_EQ(s.slo_violations, 0u);
+}
+
+TEST(Latency, SingleSampleIsEveryQuantile) {
+  LatencyAccum a(1.0);
+  a.add(7000);
+  for (uint64_t permille : {1u, 500u, 950u, 990u, 999u, 1000u}) {
+    EXPECT_EQ(a.quantileCycles(permille), 7000u) << permille;
+  }
+  const LatencySummary s = a.summary(0);
+  EXPECT_EQ(s.p50_us, 7.0);
+  EXPECT_EQ(s.max_us, 7.0);
+  EXPECT_EQ(s.mean_us, 7.0);
+}
+
+TEST(Latency, AllEqualSamples) {
+  LatencyAccum a(1.0);
+  for (int i = 0; i < 100; ++i) a.add(500);
+  for (uint64_t permille : {1u, 500u, 990u, 999u, 1000u}) {
+    EXPECT_EQ(a.quantileCycles(permille), 500u) << permille;
+  }
+}
+
+TEST(Latency, ExactSmallN) {
+  // Nearest-rank over {10, 20, 30, 40}: rank = ceil(p * 4), so p50 -> rank 2
+  // and everything from p76 up -> rank 4.
+  LatencyAccum a(1.0);
+  for (uint64_t v : {40u, 10u, 30u, 20u}) a.add(v);  // unsorted on purpose
+  EXPECT_EQ(a.quantileCycles(250), 10u);
+  EXPECT_EQ(a.quantileCycles(500), 20u);
+  EXPECT_EQ(a.quantileCycles(750), 30u);
+  EXPECT_EQ(a.quantileCycles(751), 40u);
+  EXPECT_EQ(a.quantileCycles(999), 40u);
+  EXPECT_EQ(a.quantileCycles(1000), 40u);
+}
+
+TEST(Latency, GoldenSequenceOneToThousand) {
+  // With samples 1..1000 the nearest-rank quantile in permille is the
+  // identity — any off-by-one or FP boundary bug shows up immediately.
+  LatencyAccum a(1.0);
+  for (uint64_t v = 1000; v >= 1; --v) a.add(v);
+  EXPECT_EQ(a.quantileCycles(1), 1u);
+  EXPECT_EQ(a.quantileCycles(500), 500u);
+  EXPECT_EQ(a.quantileCycles(950), 950u);
+  EXPECT_EQ(a.quantileCycles(990), 990u);
+  EXPECT_EQ(a.quantileCycles(999), 999u);
+  EXPECT_EQ(a.quantileCycles(1000), 1000u);
+}
+
+TEST(Latency, SloViolationsAreStrictlyAbove) {
+  LatencyAccum a(1.0);  // 1 GHz: 1000 cycles = 1 us
+  a.add(500);
+  a.add(1000);  // exactly at the SLO: not a violation
+  a.add(1500);
+  a.add(2500);
+  const LatencySummary s = a.summary(1.0);
+  EXPECT_EQ(s.slo_violations, 2u);
+  EXPECT_EQ(a.summary(0).slo_violations, 0u);  // slo <= 0 disables
+}
+
+// --- arrival specs --------------------------------------------------------
+
+TEST(Arrival, ParseRoundTrips) {
+  for (const char* spec :
+       {"fixed:rate=500", "poisson:rate=2e3",
+        "burst:rate=200,on_ms=0.3,off_ms=0.7,mult=4",
+        "diurnal:rate=500,period_ms=2,amp=0.8"}) {
+    ArrivalSpec a;
+    std::string err;
+    ASSERT_TRUE(ArrivalSpec::parse(spec, &a, &err)) << spec << ": " << err;
+    ArrivalSpec b;
+    ASSERT_TRUE(ArrivalSpec::parse(a.toSpecString(), &b, &err))
+        << a.toSpecString() << ": " << err;
+    EXPECT_EQ(a.toSpecString(), b.toSpecString());
+  }
+}
+
+TEST(Arrival, ParseRejectsBadSpecs) {
+  ArrivalSpec s;
+  std::string err;
+  EXPECT_FALSE(ArrivalSpec::parse("weibull:rate=5", &s, &err));
+  EXPECT_NE(err.find("unknown arrival kind"), std::string::npos);
+  EXPECT_FALSE(ArrivalSpec::parse("poisson", &s, &err));          // no rate
+  EXPECT_FALSE(ArrivalSpec::parse("poisson:rate=0", &s, &err));   // rate 0
+  EXPECT_FALSE(ArrivalSpec::parse("poisson:rate=-3", &s, &err));  // negative
+  EXPECT_FALSE(ArrivalSpec::parse("poisson:rate=abc", &s, &err));
+  EXPECT_FALSE(ArrivalSpec::parse("poisson:mult=2,rate=5", &s, &err));
+  EXPECT_FALSE(ArrivalSpec::parse("fixed:rate=5,on_ms=1", &s, &err));
+  EXPECT_FALSE(ArrivalSpec::parse("burst:rate=5,mult=0.5", &s, &err));
+  EXPECT_FALSE(ArrivalSpec::parse("diurnal:rate=5,amp=1", &s, &err));
+}
+
+TEST(Arrival, FixedRateHasExactGaps) {
+  ArrivalSpec s;
+  ASSERT_TRUE(ArrivalSpec::parse("fixed:rate=4", &s, nullptr));
+  ArrivalProcess p(s, 1.0, 42);  // 1 GHz: 1 ms = 1e6 cycles
+  EXPECT_EQ(p.next(), 250000u);
+  EXPECT_EQ(p.next(), 500000u);
+  EXPECT_EQ(p.next(), 750000u);
+  EXPECT_EQ(p.next(), 1000000u);
+}
+
+TEST(Arrival, SameSeedSameTrace) {
+  for (const char* spec :
+       {"poisson:rate=800", "burst:rate=300,on_ms=0.2,off_ms=0.4,mult=6",
+        "diurnal:rate=400,period_ms=1,amp=0.5"}) {
+    ArrivalSpec s;
+    ASSERT_TRUE(ArrivalSpec::parse(spec, &s, nullptr));
+    ArrivalProcess a(s, 2.3, 12345);
+    ArrivalProcess b(s, 2.3, 12345);
+    ArrivalProcess c(s, 2.3, 54321);
+    bool any_diff = false;
+    uint64_t prev = 0;
+    for (int i = 0; i < 500; ++i) {
+      const uint64_t va = a.next();
+      EXPECT_EQ(va, b.next()) << spec << " i=" << i;
+      if (va != c.next()) any_diff = true;
+      // Strict monotonicity even at rates that collapse ms-domain gaps.
+      EXPECT_GT(va, prev) << spec << " i=" << i;
+      prev = va;
+    }
+    EXPECT_TRUE(any_diff) << spec << ": different seeds gave the same trace";
+  }
+}
+
+TEST(Arrival, DisabledProcessNeverFires) {
+  ArrivalSpec s;  // default rate = 0
+  ArrivalProcess p(s, 2.3, 1);
+  EXPECT_EQ(p.next(), ArrivalProcess::kNever);
+}
+
+// --- service engine invariants --------------------------------------------
+
+namespace {
+
+ServiceConfig tinyServiceConfig() {
+  ServiceConfig cfg;
+  cfg.nthreads = 4;
+  cfg.key_range = 512;
+  cfg.warmup_ms = 0.1;
+  cfg.measure_ms = 0.3;
+  cfg.latency_buckets = 4;
+  ClassSpec point;
+  point.name = "point";
+  point.kind = RequestKind::kPoint;
+  point.arrival.kind = ArrivalKind::kPoisson;
+  point.arrival.rate = 2000;
+  point.update_pct = 50;
+  point.slo_us = 50;
+  ClassSpec scan;
+  scan.name = "scan";
+  scan.kind = RequestKind::kScan;
+  scan.arrival.kind = ArrivalKind::kPoisson;
+  scan.arrival.rate = 100;
+  scan.scan_len = 16;
+  scan.slo_us = 200;
+  cfg.classes = {point, scan};
+  return cfg;
+}
+
+void checkAccounting(const ServiceResult& r) {
+  uint64_t backlog = 0;
+  for (const ClassMetrics& m : r.classes) {
+    EXPECT_GE(m.offered, m.completed) << m.name;
+    EXPECT_EQ(m.latency.count, m.completed) << m.name;
+    backlog += m.offered - m.completed;
+    double bucket_total = 0;
+    for (const auto& row : m.series) bucket_total += row[1];
+    EXPECT_EQ(static_cast<uint64_t>(bucket_total), m.completed) << m.name;
+    EXPECT_GE(m.slo_violations, m.latency.slo_violations) << m.name;
+  }
+  EXPECT_EQ(r.backlog_end, backlog);
+}
+
+}  // namespace
+
+TEST(Service, OpenLoopAccountingInvariants) {
+  ServiceConfig cfg = tinyServiceConfig();
+  const ServiceResult r = runService(cfg);
+  ASSERT_EQ(r.classes.size(), 2u);
+  EXPECT_GT(r.classes[0].completed, 0u);
+  EXPECT_GT(r.classes[1].completed, 0u);
+  EXPECT_GT(r.total_krps, 0);
+  EXPECT_GT(r.peak_queue, 0u);
+  checkAccounting(r);
+}
+
+TEST(Service, ClosedLoopCompletesEverythingItOffers) {
+  ServiceConfig cfg = tinyServiceConfig();
+  cfg.model = ClientModel::kClosed;
+  cfg.classes[0].clients = 3;
+  cfg.classes[1].clients = 1;
+  cfg.classes[0].think_ms = 0.01;
+  cfg.classes[1].think_ms = 0.01;
+  const ServiceResult r = runService(cfg);
+  ASSERT_EQ(r.classes.size(), 2u);
+  EXPECT_GT(r.classes[0].completed, 0u);
+  EXPECT_GT(r.classes[1].completed, 0u);
+  // Closed loop: a request is only sampled when it completes, so there is no
+  // backlog by construction.
+  EXPECT_EQ(r.backlog_end, 0u);
+  checkAccounting(r);
+}
+
+TEST(Service, SameConfigSameMetricsJson) {
+  ServiceConfig cfg = tinyServiceConfig();
+  const std::string a = metricsJson(runService(cfg));
+  const std::string b = metricsJson(runService(cfg));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Service, OfferedTraceIdenticalAcrossSyncKinds) {
+  // The arrival streams live in their own RNG domains: the offered trace
+  // must not depend on which lock implementation serves it.
+  ServiceConfig cfg = tinyServiceConfig();
+  cfg.sync = workload::SyncKind::kTle;
+  const ServiceResult tle = runService(cfg);
+  cfg.sync = workload::SyncKind::kNatle;
+  const ServiceResult natle = runService(cfg);
+  ASSERT_EQ(tle.classes.size(), natle.classes.size());
+  for (size_t i = 0; i < tle.classes.size(); ++i) {
+    EXPECT_EQ(tle.classes[i].offered, natle.classes[i].offered) << i;
+  }
+}
+
+TEST(Service, NatleRunsAndCompletes) {
+  ServiceConfig cfg = tinyServiceConfig();
+  cfg.sync = workload::SyncKind::kNatle;
+  const ServiceResult r = runService(cfg);
+  EXPECT_GT(r.classes[0].completed, 0u);
+  checkAccounting(r);
+}
+
+// --- harness determinism across --jobs ------------------------------------
+
+namespace {
+
+void planTrafficTiny(const workload::BenchOptions& opt, exp::Plan& plan) {
+  auto sweep = std::make_shared<ServiceSweep>(opt);
+  ServiceConfig cfg = tinyServiceConfig();
+  cfg.warmup_ms = 0.1 * opt.time_scale;
+  cfg.measure_ms = 0.3 * opt.time_scale;
+  for (workload::SyncKind sync :
+       {workload::SyncKind::kTle, workload::SyncKind::kNatle}) {
+    cfg.sync = sync;
+    for (int n : {2, 4}) {
+      cfg.nthreads = n;
+      sweep->point(plan, workload::toString(sync), n, cfg);
+    }
+  }
+  plan.emit = [sweep](const std::vector<exp::PointData>& results) {
+    std::vector<exp::Record> rows;
+    for (const auto& e : sweep->points()) {
+      const exp::PointData& p = results.at(e.job);
+      if (p.status != exp::PointStatus::kOk) continue;
+      rows.push_back({e.series, e.x, p.value});
+    }
+    return rows;
+  };
+}
+
+std::string stripWallMs(const std::string& json) {
+  static const std::regex kWall(",\"wall_ms\":[-0-9.e+]+");
+  return std::regex_replace(json, kWall, "");
+}
+
+}  // namespace
+
+NATLE_REGISTER_EXPERIMENT(traffic_tiny, "traffic_test_tiny",
+                          "four-point service sweep used by traffic_test",
+                          "none", "y = completed krps", planTrafficTiny);
+
+TEST(TrafficHarness, ByteIdenticalAcrossJobCounts) {
+  const exp::Experiment* e =
+      exp::Registry::instance().find("traffic_test_tiny");
+  ASSERT_NE(e, nullptr);
+  workload::BenchOptions opt;
+  exp::RunnerOptions serial;
+  serial.jobs = 1;
+  exp::RunnerOptions parallel;
+  parallel.jobs = 4;
+  const exp::ExperimentOutput a = exp::runExperiment(*e, opt, serial);
+  const exp::ExperimentOutput b = exp::runExperiment(*e, opt, parallel);
+  EXPECT_EQ(a.n_jobs, 4u);
+  EXPECT_EQ(a.n_failed, 0u);
+  EXPECT_EQ(a.csv, b.csv);
+  EXPECT_EQ(stripWallMs(a.json), stripWallMs(b.json));
+  // The per-class latency series must actually be in the records.
+  EXPECT_NE(a.json.find("\"service\":{"), std::string::npos);
+  EXPECT_NE(a.json.find("\"series\":[["), std::string::npos);
+  EXPECT_NE(a.json.find("\"slo_violations\":"), std::string::npos);
+}
+
+TEST(TrafficHarness, ArrivalOverrideChangesOfferedLoad) {
+  const exp::Experiment* e =
+      exp::Registry::instance().find("traffic_test_tiny");
+  ASSERT_NE(e, nullptr);
+  workload::BenchOptions opt;
+  workload::BenchOptions heavier = opt;
+  heavier.arrival_spec = "poisson:rate=4000";
+  const exp::ExperimentOutput base =
+      exp::runExperiment(*e, opt, exp::RunnerOptions{});
+  const exp::ExperimentOutput more =
+      exp::runExperiment(*e, heavier, exp::RunnerOptions{});
+  EXPECT_NE(stripWallMs(base.json), stripWallMs(more.json));
+  EXPECT_NE(more.json.find("poisson:rate=4000"), std::string::npos);
+}
